@@ -1,0 +1,19 @@
+"""Ablation: threshold presets (conservative / default / aggressive)."""
+
+from repro.experiments import table_thresholds
+
+
+def test_threshold_presets_trace_a_frontier(once):
+    result = once(table_thresholds.run)
+    summary = result.summary
+    # More aggressive thresholds must save at least as much power...
+    assert (
+        summary["aggressive_power_reduction"]
+        >= summary["default_power_reduction"] - 0.01
+    )
+    assert (
+        summary["default_power_reduction"]
+        >= summary["conservative_power_reduction"] - 0.01
+    )
+    # ...while the conservative preset protects performance best.
+    assert summary["conservative_slowdown"] <= summary["aggressive_slowdown"] + 0.02

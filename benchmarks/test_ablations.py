@@ -1,0 +1,24 @@
+"""Ablation benches: design-choice sensitivity (DESIGN.md §3, last rows)."""
+
+from repro.experiments import table_sensitivity, table_timeout_sweep
+
+
+def test_window_and_signature_sensitivity(once):
+    result = once(table_sensitivity.run)
+    summary = result.summary
+    # The paper's chosen point (window=1000, N=4) must save power at a
+    # small slowdown on the representative benchmark.
+    assert summary["default_window_power_reduction"] > 0.03
+    assert summary["default_window_slowdown"] < 0.10
+
+
+def test_timeout_period_sweep(once):
+    result = once(table_timeout_sweep.run)
+    summary = result.summary
+    # Paper picks 20K cycles: worst-case slowdown under ~5% while still
+    # gating the VPU a useful amount on gateable apps.
+    assert summary["worst_slowdown_at_20k"] < 0.10
+    assert summary["gated_at_20k"] > 0.15
+    # Aggressive (short) timeouts must gate at least as much as lax ones.
+    gated = [float(row[1].rstrip("%")) / 100 for row in result.rows]
+    assert gated[0] >= gated[-1] - 0.02

@@ -1,0 +1,32 @@
+"""Figures 1-3: the motivation studies (variable unit criticality)."""
+
+from repro.experiments import fig01_vpu_phases, fig02_bpu_phases, fig03_mlc_phases
+
+
+def test_fig01_vpu_intensity_varies(once):
+    result = once(fig01_vpu_phases.run)
+    summary = result.summary
+    # Paper shape: gobmk has both quiet and vector-busy stretches.
+    assert summary["quiet_frac"] > 0.3
+    assert summary["busy_frac"] > 0.02
+    assert summary["peak_intensity"] > 0.05
+
+
+def test_fig02_large_bpu_benefit_is_phasic(once):
+    result = once(fig02_bpu_phases.run)
+    summary = result.summary
+    # The tournament helps overall...
+    assert summary["mean_gain"] > 0.01
+    # ...but a meaningful fraction of samples see (almost) no benefit.
+    assert summary["flat_frac"] > 0.15
+    assert summary["helped_frac"] > 0.10
+
+
+def test_fig03_mlc_benefit_is_phasic(once):
+    result = once(fig03_mlc_phases.run)
+    summary = result.summary
+    # The 8-way MLC wins clearly in resident phases...
+    assert summary["helped_frac"] > 0.2
+    # ...while streaming phases barely notice 1-way gating.
+    assert summary["flat_frac"] > 0.2
+    assert summary["mean_gain"] > 0.05

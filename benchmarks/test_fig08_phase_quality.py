@@ -1,0 +1,13 @@
+"""Figure 8: phase-identification quality across all 29 applications."""
+
+from repro.experiments import fig08_phase_quality
+
+
+def test_fig08_same_signature_windows_execute_same_code(once):
+    result = once(fig08_phase_quality.run)
+    summary = result.summary
+    # Paper: mean 2.8% Manhattan distance, max 6.8%.  Our compressed phases
+    # admit somewhat more straddle noise; the qualitative claim is that
+    # same-signature windows execute overwhelmingly identical code.
+    assert summary["mean_distance_frac"] < 0.10
+    assert summary["max_distance_frac"] < 0.35

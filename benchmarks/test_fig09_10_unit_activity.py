@@ -1,0 +1,36 @@
+"""Figures 9 and 10: per-unit gating activity (isolation studies)."""
+
+from repro.experiments import unit_activity
+
+
+def test_fig09_mobile_unit_activity(once):
+    result = once(unit_activity.run_mobile)
+    summary = result.summary
+    # Paper: mobile VPU gated ~90%+, BPU ~40% average, MLC ~20%.
+    assert summary["mean_vpu_gated"] > 0.60
+    assert summary["mean_bpu_gated"] > 0.25
+    assert summary["mean_mlc_gated"] > 0.10
+
+
+def test_fig10_server_unit_activity(once):
+    result = once(unit_activity.run_server)
+    summary = result.summary
+    # Paper: VPU gated ~90% for most SPEC-INT (high overall), BPU usually
+    # needed on the server (gated less than the VPU), MLC gated on the
+    # streaming subset.
+    assert summary["mean_vpu_gated"] > 0.35
+    assert summary["mean_mlc_gated"] > 0.08
+    assert summary["mean_vpu_gated"] > summary["mean_bpu_gated"]
+
+    rows = {row[0]: row for row in result.rows}
+    # Named behaviours from the paper's text:
+    vpu_of = lambda name: float(rows[name][1].rstrip("%")) / 100
+    mlc_of = lambda name: float(rows[name][3].rstrip("%")) / 100
+    assert vpu_of("namd") > 0.6  # "VPU gated off above 90% ... for namd"
+    # dedup's phases are ~1M instructions each, so a half-budget isolation
+    # run only sees a couple of recurrences and the warmup prologue weighs
+    # heavily; majority gating is the claim that survives compression.
+    assert vpu_of("dedup") > 0.4
+    assert vpu_of("milc") < 0.2  # dense vector keeps the VPU on
+    assert mlc_of("milc") > 0.30  # "1-way for over 40% of the cycles"
+    assert mlc_of("streamcluster") > 0.30

@@ -1,0 +1,14 @@
+"""Figure 11: frequency of gating state changes."""
+
+from repro.experiments import fig11_policy_changes
+
+
+def test_fig11_switching_is_phase_grained(once):
+    result = once(fig11_policy_changes.run)
+    summary = result.summary
+    # Paper: BPU < 50, VPU < 10, MLC < 5 switches per million cycles.
+    assert summary["mean_bpu"] < 50.0
+    assert summary["mean_vpu"] < 10.0
+    assert summary["mean_mlc"] < 8.0
+    # Ordering: the BPU (cheapest to switch) changes most often.
+    assert summary["mean_bpu"] >= summary["mean_mlc"]

@@ -1,0 +1,30 @@
+"""Figures 13 and 14: power, energy and leakage reductions."""
+
+from repro.experiments import fig13_power_energy, fig14_leakage
+
+
+def test_fig13_power_and_energy_reduction(once):
+    result = once(fig13_power_energy.run)
+    summary = result.summary
+    # Paper: total core power down 6-19% per suite; 13/29 apps above 10%;
+    # peaks near 40%; energy reductions slightly smaller than power.
+    assert summary["mean_power_reduction"] > 0.05
+    assert summary["max_power_reduction"] > 0.20
+    assert summary["apps_over_10pct_power"] >= 6
+    assert summary["mean_energy_reduction"] > 0.03
+    assert summary["mean_energy_reduction"] <= summary["mean_power_reduction"]
+    # MobileBench sees the largest reductions (paper: 19% vs 6-10% server).
+    assert summary["power_MobileBench"] > summary["power_SPEC-FP"]
+
+
+def test_fig14_leakage_reduction(once):
+    result = once(fig14_leakage.run)
+    summary = result.summary
+    # Paper: SPEC-INT -23%, SPEC-FP -10%, PARSEC -12%, MobileBench -32%,
+    # up to -52% per app.
+    assert summary["mean_leakage_reduction"] > 0.08
+    assert summary["max_leakage_reduction"] > 0.25
+    assert summary["leakage_MobileBench"] > summary["leakage_SPEC-FP"]
+    # Directional with slack: our synthetic SPEC-FP gates the MLC harder
+    # than the paper's (streaming phases), narrowing the INT-FP gap.
+    assert summary["leakage_SPEC-INT"] > summary["leakage_SPEC-FP"] - 0.05

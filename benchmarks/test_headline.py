@@ -1,0 +1,16 @@
+"""The abstract's headline claim."""
+
+from repro.experiments import headline
+
+
+def test_headline_power_reductions(once):
+    result = once(headline.run)
+    summary = result.summary
+    # Paper: server -9% avg (to -33%); mobile -19% avg (to -40%); ~2% slow.
+    assert summary["server_mean_power_reduction"] > 0.05
+    assert summary["mobile_mean_power_reduction"] > 0.10
+    assert summary["mobile_mean_power_reduction"] > summary[
+        "server_mean_power_reduction"
+    ]
+    assert summary["mobile_max_power_reduction"] > 0.25
+    assert summary["mean_slowdown"] < 0.06

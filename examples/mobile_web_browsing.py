@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's headline mobile story: PowerChop on web-browsing workloads.
+
+Runs all five MobileBench R-GWB-class workloads on the Cortex-A9-class
+mobile core — the design point where the paper reports PowerChop's largest
+wins (19 % average core power reduction, up to 40 % on `amazon`) — and
+prints a per-application breakdown.
+
+Usage:
+    python examples/mobile_web_browsing.py [instructions]
+"""
+
+import sys
+
+from repro import (
+    GatingMode,
+    MOBILE,
+    mobile_benchmarks,
+    power_reduction,
+    leakage_reduction,
+    run_simulation,
+    slowdown,
+)
+from repro.analysis import format_table
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000_000
+    rows = []
+    for profile in mobile_benchmarks():
+        full = run_simulation(
+            MOBILE, profile, GatingMode.FULL, max_instructions=budget
+        )
+        chopped = run_simulation(
+            MOBILE, profile, GatingMode.POWERCHOP, max_instructions=budget
+        )
+        energy = chopped.energy
+        rows.append(
+            (
+                profile.name,
+                f"{slowdown(full, chopped):+.2%}",
+                f"{power_reduction(full, chopped):.1%}",
+                f"{leakage_reduction(full, chopped):.1%}",
+                f"{energy.vpu_gated_frac:.0%}",
+                f"{energy.bpu_gated_frac:.0%}",
+                f"{energy.mlc_gated_frac(MOBILE.mlc_assoc):.0%}",
+            )
+        )
+    print(
+        format_table(
+            (
+                "app",
+                "slowdown",
+                "power_saved",
+                "leakage_saved",
+                "vpu_off",
+                "bpu_off",
+                "mlc_gated",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\npaper shape: browsing is scalar (VPU off ~90%+), the tournament "
+        "BPU matters only in JS-heavy phases (~40% gated), and the 2MB MLC "
+        "is oversized for DOM-resident phases (~20% gated)."
+    )
+
+
+if __name__ == "__main__":
+    main()

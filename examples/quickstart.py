@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: run PowerChop on one benchmark and report the savings.
+
+Simulates `gobmk` (SPEC CPU2006-class synthetic workload) on the server
+design point under three configurations — always-fully-powered, PowerChop,
+and always-minimally-powered — and prints the performance/power tradeoff
+each achieves.
+
+Usage:
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import (
+    GatingMode,
+    SERVER,
+    design_for_suite,
+    get_profile,
+    leakage_reduction,
+    power_reduction,
+    run_simulation,
+    slowdown,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gobmk"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 2_000_000
+
+    profile = get_profile(benchmark)
+    design = design_for_suite(profile.suite)
+    print(f"benchmark : {profile.name} ({profile.suite})")
+    print(f"design    : {design.name}")
+    print(f"budget    : {budget:,} guest instructions\n")
+
+    results = {}
+    for mode in (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL):
+        results[mode] = run_simulation(
+            design, profile, mode, max_instructions=budget
+        )
+        r = results[mode]
+        print(
+            f"{mode.value:10s} ipc={r.ipc:5.2f}  power={r.energy.avg_power_w:6.3f} W"
+            f"  leakage={r.energy.avg_leakage_w:6.3f} W"
+        )
+
+    full = results[GatingMode.FULL]
+    chopped = results[GatingMode.POWERCHOP]
+    minimal = results[GatingMode.MINIMAL]
+    print()
+    print(f"PowerChop slowdown     : {slowdown(full, chopped):+.2%}")
+    print(f"PowerChop power saved  : {power_reduction(full, chopped):.2%}")
+    print(f"PowerChop leakage saved: {leakage_reduction(full, chopped):.2%}")
+    print(f"minimal-power slowdown : {slowdown(full, minimal):+.2%}")
+    energy = chopped.energy
+    print()
+    print(f"VPU gated {energy.vpu_gated_frac:.1%} of cycles, "
+          f"BPU gated {energy.bpu_gated_frac:.1%}, "
+          f"MLC way-residency {dict(sorted(energy.mlc_way_residency.items()))}")
+    print(f"phases: {chopped.new_phases} characterised, "
+          f"PVT {chopped.pvt_hits}/{chopped.pvt_lookups} hits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Explore the criticality-threshold tradeoff (paper §V-A).
+
+The paper sets its thresholds to save power "while minimizing the
+performance impact", and notes that more aggressive thresholds targeting
+energy minimisation are possible.  This example sweeps Threshold_VPU on
+`soplex` — an app whose vector phases sit near the decision boundary — and
+prints the resulting performance/power frontier.
+
+Usage:
+    python examples/threshold_tuning.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import SERVER, get_profile
+from repro.analysis import format_table
+from repro.sim.sweep import sweep_powerchop_thresholds
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "soplex"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 2_000_000
+    thresholds = (0.001, 0.005, 0.01, 0.05, 0.20, 0.50)
+    records = sweep_powerchop_thresholds(
+        SERVER, get_profile(benchmark), thresholds, max_instructions=budget
+    )
+    rows = [
+        (
+            record["label"],
+            f"{record['slowdown']:+.2%}",
+            f"{record['power_reduction']:.2%}",
+            f"{record['vpu_gated_frac']:.1%}",
+        )
+        for record in records
+    ]
+    print(f"Threshold_VPU sweep on {benchmark} (server core)\n")
+    print(format_table(("config", "slowdown", "power_saved", "vpu_off"), rows))
+    print(
+        "\nHigher thresholds gate the VPU more aggressively: more power "
+        "saved, but vector phases start paying the scalar-emulation cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Developer utility: profile the simulator's hot loop.
+
+Prints simulation throughput (guest instructions per second) per gating
+mode and, with ``--cprofile``, the top functions by cumulative time.  Used
+to keep the full 29-app benchmark suite within its time budget.
+
+Usage:
+    python scripts/profile_simulator.py [benchmark] [instructions] [--cprofile]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import design_for_suite
+from repro.workloads.profiles import build_workload
+from repro.workloads.suites import get_profile
+
+
+def throughput(benchmark: str, budget: int, mode: GatingMode) -> float:
+    profile = get_profile(benchmark)
+    design = design_for_suite(profile.suite)
+    workload = build_workload(profile)
+    simulator = HybridSimulator(design, workload, mode)
+    start = time.perf_counter()
+    result = simulator.run(budget)
+    elapsed = time.perf_counter() - start
+    return result.instructions / elapsed
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    benchmark = args[0] if args else "gobmk"
+    budget = int(args[1]) if len(args) > 1 else 1_000_000
+
+    for mode in (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL):
+        rate = throughput(benchmark, budget, mode)
+        print(f"{mode.value:10s} {rate / 1e6:6.2f} M guest-instructions/s")
+
+    if "--cprofile" in sys.argv:
+        profile = get_profile(benchmark)
+        design = design_for_suite(profile.suite)
+        workload = build_workload(profile)
+        simulator = HybridSimulator(design, workload, GatingMode.POWERCHOP)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        simulator.run(budget)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim; the real metadata lives in pyproject.toml.
+
+Kept so legacy editable installs (``pip install -e . --no-use-pep517``)
+work in offline environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

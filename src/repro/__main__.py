@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``     — list the 29 benchmark profiles and their suites.
+- ``run``      — simulate one benchmark under one gating mode.
+- ``compare``  — full-power vs PowerChop vs minimal on one benchmark.
+- ``designs``  — print the two Table I design points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.sim.results import (
+    energy_reduction,
+    leakage_reduction,
+    power_reduction,
+    slowdown,
+)
+from repro.sim.simulator import GatingMode, run_simulation
+from repro.uarch.config import design_by_name, design_for_suite
+from repro.workloads.suites import ALL_BENCHMARKS, get_profile
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("benchmark", help="benchmark name (see `list`)")
+    parser.add_argument(
+        "-n",
+        "--instructions",
+        type=int,
+        default=2_000_000,
+        help="guest instructions to simulate (default 2M)",
+    )
+    parser.add_argument(
+        "-d",
+        "--design",
+        default="",
+        help="design point: server | mobile (default: paper pairing)",
+    )
+
+
+def _resolve_design(args):
+    profile = get_profile(args.benchmark)
+    if args.design:
+        return profile, design_by_name(args.design)
+    return profile, design_for_suite(profile.suite)
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        (p.name, p.suite, len(p.phases), p.description[:60])
+        for p in ALL_BENCHMARKS
+    ]
+    print(format_table(("benchmark", "suite", "phases", "description"), rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    profile, design = _resolve_design(args)
+    mode = GatingMode(args.mode)
+    result = run_simulation(
+        design, profile, mode, max_instructions=args.instructions
+    )
+    energy = result.energy
+    print(f"{profile.name} on {design.name} [{mode.value}]")
+    print(f"  instructions : {result.instructions:,}")
+    print(f"  cycles       : {result.cycles:,.0f}  (IPC {result.ipc:.3f})")
+    print(f"  power        : {energy.avg_power_w:.3f} W "
+          f"(leakage {energy.avg_leakage_w:.3f} W)")
+    print(f"  mispredicts  : {result.mispredict_rate:.2%} of branches")
+    print(f"  vpu gated    : {energy.vpu_gated_frac:.1%} of cycles")
+    print(f"  bpu gated    : {energy.bpu_gated_frac:.1%} of cycles")
+    print(f"  mlc ways     : {dict(sorted(energy.mlc_way_residency.items()))}")
+    if mode is GatingMode.POWERCHOP:
+        print(f"  phases       : {result.new_phases} characterised; "
+              f"PVT {result.pvt_hits}/{result.pvt_lookups} hits")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    profile, design = _resolve_design(args)
+    results = {}
+    for mode in (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL):
+        results[mode] = run_simulation(
+            design, profile, mode, max_instructions=args.instructions
+        )
+    full = results[GatingMode.FULL]
+    rows = []
+    for mode, result in results.items():
+        rows.append(
+            (
+                mode.value,
+                f"{result.ipc:.3f}",
+                f"{slowdown(full, result):+.2%}",
+                f"{result.energy.avg_power_w:.3f}",
+                f"{power_reduction(full, result):.2%}",
+                f"{leakage_reduction(full, result):.2%}",
+                f"{energy_reduction(full, result):.2%}",
+            )
+        )
+    print(f"{profile.name} on {design.name} ({args.instructions:,} instructions)")
+    print(
+        format_table(
+            ("mode", "ipc", "slowdown", "power_w", "power_red", "leak_red", "energy_red"),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_designs(_args) -> int:
+    from repro.experiments.table1_designs import run
+
+    print(run().render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PowerChop (ISCA 2016) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark profiles").set_defaults(
+        func=cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    _add_run_args(run_parser)
+    run_parser.add_argument(
+        "-m",
+        "--mode",
+        choices=[m.value for m in GatingMode],
+        default="powerchop",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="full vs powerchop vs minimal"
+    )
+    _add_run_args(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    sub.add_parser("designs", help="print Table I design points").set_defaults(
+        func=cmd_designs
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

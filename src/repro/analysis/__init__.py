@@ -1,0 +1,15 @@
+"""Analysis utilities: phase quality, metric aggregation, text rendering."""
+
+from repro.analysis.phases import PhaseQuality, phase_quality
+from repro.analysis.metrics import geomean, mean, suite_means
+from repro.analysis.report import format_bars, format_table
+
+__all__ = [
+    "PhaseQuality",
+    "phase_quality",
+    "mean",
+    "geomean",
+    "suite_means",
+    "format_table",
+    "format_bars",
+]

@@ -1,0 +1,44 @@
+"""Metric aggregation helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (for speedup-like ratios); all values must be > 0."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def suite_means(
+    records: Sequence[T],
+    suite_of: Callable[[T], str],
+    value_of: Callable[[T], float],
+) -> Dict[str, float]:
+    """Arithmetic mean of a metric per benchmark suite."""
+    groups: Dict[str, List[float]] = {}
+    for record in records:
+        groups.setdefault(suite_of(record), []).append(value_of(record))
+    return {suite: mean(values) for suite, values in groups.items()}
+
+
+def weighted_mean(values: Mapping[T, float], weights: Mapping[T, float]) -> float:
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(values[k] * weights[k] for k in values) / total_weight

@@ -1,0 +1,54 @@
+"""Plain-text rendering of tables and bar 'figures' for the harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    max_value: float = 0.0,
+) -> str:
+    """Render a horizontal ASCII bar chart (the harness's 'figures')."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty)"
+    peak = max_value or max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * max(value, 0.0) / peak)) if peak else 0
+        filled = min(filled, width)
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:.3f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Transmeta-style binary translation subsystem (paper §II-A).
+
+The BT layer sits below the guest ISA: an *interpreter* executes cold guest
+code while profiling hotness; a *translator* turns hot code regions into
+optimised host-ISA traces ("translations") stored in the *region cache*;
+and the *nucleus* services interrupts and exceptions — including the PVT
+miss interrupts PowerChop's Criticality Decision Engine runs on.
+"""
+
+from repro.bt.region_cache import RegionCache, Translation
+from repro.bt.interpreter import Interpreter
+from repro.bt.translator import Translator, likely_taken
+from repro.bt.nucleus import Nucleus
+from repro.bt.runtime import BTRuntime, ExecMode
+
+__all__ = [
+    "Translation",
+    "RegionCache",
+    "Interpreter",
+    "Translator",
+    "likely_taken",
+    "Nucleus",
+    "BTRuntime",
+    "ExecMode",
+]

@@ -1,0 +1,38 @@
+"""The BT interpreter: slow-path execution with hotness profiling."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Interpreter:
+    """Decodes and executes cold guest code while counting executions.
+
+    Per §II-A the interpreter runs guest instructions sequentially (the
+    timing model charges ``interpreter_cpi`` cycles per instruction for
+    interpreted blocks) and yields to the translator once a code region
+    reaches the hotness threshold.
+    """
+
+    def __init__(self, hot_threshold: int) -> None:
+        if hot_threshold < 1:
+            raise ValueError("hot threshold must be >= 1")
+        self.hot_threshold = hot_threshold
+        self._exec_counts: Dict[int, int] = {}
+        self.interpreted_blocks = 0
+        self.interpreted_instructions = 0
+
+    def note_execution(self, pc: int, n_instr: int) -> bool:
+        """Record one interpreted execution; True when ``pc`` just got hot."""
+        self.interpreted_blocks += 1
+        self.interpreted_instructions += n_instr
+        count = self._exec_counts.get(pc, 0) + 1
+        self._exec_counts[pc] = count
+        return count == self.hot_threshold
+
+    def execution_count(self, pc: int) -> int:
+        return self._exec_counts.get(pc, 0)
+
+    def forget(self, pc: int) -> None:
+        """Drop profiling state once a PC has been translated."""
+        self._exec_counts.pop(pc, None)

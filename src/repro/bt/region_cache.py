@@ -1,0 +1,69 @@
+"""Translations and the region cache that stores them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Translation:
+    """An optimised host-ISA trace covering a hot guest code path (§II-A).
+
+    ``tid`` is the unit PowerChop identifies phases with: the lower 32 bits
+    of the translation head's PC (§IV-B2 — the region cache is far smaller
+    than 32 bits of address space, so these are unique).
+
+    ``n_vector`` records how many guest vector instructions the trace
+    contains; the translator also emits alternate scalar code paths for
+    them, which is what executes when the VPU is gated off.
+    """
+
+    head_pc: int
+    block_pcs: Tuple[int, ...]
+    n_instr: int
+    n_vector: int
+    region_id: int
+
+    @property
+    def tid(self) -> int:
+        return self.head_pc & 0xFFFFFFFF
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_pcs)
+
+
+@dataclass
+class RegionCacheStats:
+    insertions: int = 0
+    lookups: int = 0
+    hits: int = 0
+
+
+class RegionCache:
+    """Software code cache mapping translation-head PCs to translations."""
+
+    def __init__(self) -> None:
+        self._by_head: Dict[int, Translation] = {}
+        self.stats = RegionCacheStats()
+
+    def lookup(self, pc: int) -> Optional[Translation]:
+        self.stats.lookups += 1
+        translation = self._by_head.get(pc)
+        if translation is not None:
+            self.stats.hits += 1
+        return translation
+
+    def insert(self, translation: Translation) -> None:
+        self._by_head[translation.head_pc] = translation
+        self.stats.insertions += 1
+
+    def __len__(self) -> int:
+        return len(self._by_head)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._by_head
+
+    def translations(self) -> Tuple[Translation, ...]:
+        return tuple(self._by_head.values())

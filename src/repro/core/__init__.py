@@ -1,0 +1,50 @@
+"""PowerChop: the paper's contribution (§IV).
+
+Hardware side: the Hot Translation Buffer (:mod:`repro.core.htb`) builds
+phase signatures from the stream of executed translations, and the Policy
+Vector Table (:mod:`repro.core.pvt`) caches per-phase gating policies and
+triggers them at phase edges.  Software side: the Criticality Decision
+Engine (:mod:`repro.core.cde`) profiles each new phase's unit criticality
+and assigns gating policies, running on the BT nucleus's interrupt path.
+
+:mod:`repro.core.timeout` implements the hardware-only idleness-timeout
+baseline PowerChop is compared against in §V-E.
+"""
+
+from repro.core.config import PowerChopConfig
+from repro.core.criticality import (
+    CriticalityScores,
+    CriticalityThresholds,
+    bpu_criticality,
+    decide_policy,
+    mlc_criticality,
+    vpu_criticality,
+)
+from repro.core.htb import HotTranslationBuffer
+from repro.core.policies import PolicyVector, decode_policy_bits, encode_policy_bits
+from repro.core.pvt import PolicyVectorTable
+from repro.core.signature import PhaseSignature, make_signature
+from repro.core.cde import CriticalityDecisionEngine, WindowStats
+from repro.core.controller import PowerChopController
+from repro.core.timeout import TimeoutVPUController
+
+__all__ = [
+    "PowerChopConfig",
+    "PhaseSignature",
+    "make_signature",
+    "HotTranslationBuffer",
+    "PolicyVectorTable",
+    "PolicyVector",
+    "encode_policy_bits",
+    "decode_policy_bits",
+    "CriticalityThresholds",
+    "CriticalityScores",
+    "vpu_criticality",
+    "bpu_criticality",
+    "mlc_criticality",
+    "decide_policy",
+    "CriticalityDecisionEngine",
+    "WindowStats",
+    "PowerChopController",
+    "TimeoutVPUController",
+]

@@ -1,0 +1,134 @@
+"""Unit criticality scoring and policy decisions (§IV-C2).
+
+- ``Criticality_VPU``  = SIMD instructions / total instructions in a
+  profiling window; gate the VPU off below ``Threshold_VPU``.
+- ``Criticality_BPU``  = mispred(small) - mispred(large), measured over two
+  profiling windows (large predictor active in the first, small in the
+  second); gate the large BPU off below ``Threshold_BPU``.
+- ``Criticality_MLC``  = MLC hits / total instructions in one window; all
+  ways above ``Threshold_MLC1``, one way below ``Threshold_MLC2``, half the
+  ways otherwise.
+
+The paper's threshold sentence is truncated in the available text; the
+defaults here (0.01 / 0.01 / 0.01 / 0.001) were validated by the
+sensitivity sweep in ``benchmarks/test_ablation_thresholds.py`` and are
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.policies import PolicyVector
+from repro.uarch.config import DesignPoint
+
+
+@dataclass(frozen=True)
+class CriticalityThresholds:
+    """Gating thresholds (paper §V-A, 'Criticality Thresholds')."""
+
+    vpu: float = 0.01
+    bpu: float = 0.01
+    mlc_high: float = 0.01  # Threshold_MLC1: above -> keep all ways
+    mlc_low: float = 0.001  # Threshold_MLC2: below -> keep one way
+
+    def __post_init__(self) -> None:
+        if self.mlc_low > self.mlc_high:
+            raise ValueError("Threshold_MLC2 must not exceed Threshold_MLC1")
+        if min(self.vpu, self.bpu, self.mlc_high, self.mlc_low) < 0:
+            raise ValueError("thresholds must be non-negative")
+
+    @property
+    def mlc_mid(self) -> float:
+        """Extra threshold for the extended 4-state MLC policy: splits the
+        half-ways band into half (above) and quarter (below) ways.  Taken
+        as the geometric midpoint of the two paper thresholds."""
+        return (self.mlc_low * self.mlc_high) ** 0.5
+
+    @classmethod
+    def aggressive(cls) -> "CriticalityThresholds":
+        """Energy-minimising thresholds (paper §V-A: 'more aggressive
+        policies using higher thresholds that target energy minimization').
+
+        Units must earn substantially more performance to stay powered, so
+        more execution runs gated at a larger performance cost; compare
+        against the defaults with ``benchmarks/test_ablation_thresholds``.
+        """
+        return cls(vpu=0.05, bpu=0.03, mlc_high=0.05, mlc_low=0.01)
+
+    @classmethod
+    def conservative(cls) -> "CriticalityThresholds":
+        """Performance-protecting thresholds: gate only clearly-dead units."""
+        return cls(vpu=0.001, bpu=0.002, mlc_high=0.002, mlc_low=0.0002)
+
+
+@dataclass(frozen=True)
+class CriticalityScores:
+    """Per-unit criticality measured for one phase."""
+
+    vpu: float
+    bpu: float
+    mlc: float
+
+
+def vpu_criticality(simd_instructions: int, total_instructions: int) -> float:
+    """Phase_SIMD / Phase_TotInsn."""
+    if total_instructions <= 0:
+        return 0.0
+    return simd_instructions / total_instructions
+
+
+def bpu_criticality(mispred_rate_small: float, mispred_rate_large: float) -> float:
+    """MisPred_Small - MisPred_Large (how much the tournament helps)."""
+    return mispred_rate_small - mispred_rate_large
+
+
+def mlc_criticality(mlc_hits: int, total_instructions: int) -> float:
+    """Phase_L2Hit / Phase_TotInsn."""
+    if total_instructions <= 0:
+        return 0.0
+    return mlc_hits / total_instructions
+
+
+def decide_policy(
+    scores: CriticalityScores,
+    thresholds: CriticalityThresholds,
+    design: DesignPoint,
+    managed_units: Iterable[str] = ("vpu", "bpu", "mlc"),
+    extended_mlc_states: bool = False,
+) -> PolicyVector:
+    """Map criticality scores to a gating policy vector.
+
+    Units outside ``managed_units`` stay in their full-power state (this is
+    how the paper's per-unit isolation studies, §V-C, are run).  With
+    ``extended_mlc_states`` the MLC uses the 4-state policy (adds a
+    quarter-ways band below ``thresholds.mlc_mid``), exercising the paper's
+    note that states can be added via extra PVT encodings.
+    """
+    managed = set(managed_units)
+    unknown = managed - {"vpu", "bpu", "mlc"}
+    if unknown:
+        raise ValueError(f"unknown managed units {sorted(unknown)}")
+
+    vpu_on = True
+    if "vpu" in managed and scores.vpu <= thresholds.vpu:
+        vpu_on = False
+
+    bpu_on = True
+    if "bpu" in managed and scores.bpu <= thresholds.bpu:
+        bpu_on = False
+
+    one_way, quarter_ways, half_ways, all_ways = design.mlc_way_states_extended
+    mlc_ways = all_ways
+    if "mlc" in managed:
+        if scores.mlc > thresholds.mlc_high:
+            mlc_ways = all_ways
+        elif scores.mlc <= thresholds.mlc_low:
+            mlc_ways = one_way
+        elif extended_mlc_states and scores.mlc <= thresholds.mlc_mid:
+            mlc_ways = quarter_ways
+        else:
+            mlc_ways = half_ways
+
+    return PolicyVector(vpu_on=vpu_on, bpu_on=bpu_on, mlc_ways=mlc_ways)

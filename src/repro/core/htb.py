@@ -1,0 +1,74 @@
+"""Hot Translation Buffer (§IV-B2).
+
+A small fully-associative hardware buffer (128 entries, 1 KB: 32-bit
+translation ID + 32-bit dynamic instruction counter per entry) that tracks
+the translations executed in the current execution window.  Updates happen
+as a side effect of translation-head execution, off the critical path.  If
+a window touches more unique translations than the HTB holds, the excess
+translations are simply ignored (paper behaviour).  At the end of each
+window the HTB initiates a PVT lookup and is flushed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.signature import PhaseSignature, make_signature
+
+
+class HotTranslationBuffer:
+    """Tracks per-window translation execution and instruction counts."""
+
+    def __init__(self, n_entries: int = 128, window_size: int = 1000) -> None:
+        if n_entries < 1:
+            raise ValueError("HTB needs at least one entry")
+        if window_size < 1:
+            raise ValueError("window size must be >= 1")
+        self.n_entries = n_entries
+        self.window_size = window_size
+        self._instr_counts: Dict[int, int] = {}
+        self._exec_counts: Dict[int, int] = {}
+        self.window_executions = 0
+        self.overflowed = 0  # translations dropped because the HTB was full
+        self.windows_completed = 0
+
+    def record(self, tid: int, n_instr: int) -> bool:
+        """Record one translation execution; True when the window completed."""
+        counts = self._instr_counts
+        if tid in counts:
+            counts[tid] += n_instr
+            self._exec_counts[tid] += 1
+        elif len(counts) < self.n_entries:
+            counts[tid] = n_instr
+            self._exec_counts[tid] = 1
+        else:
+            self.overflowed += 1
+        self.window_executions += 1
+        return self.window_executions >= self.window_size
+
+    def signature(self, signature_length: int = 4) -> PhaseSignature:
+        return make_signature(self._instr_counts, signature_length)
+
+    def translation_vector(self) -> Dict[int, int]:
+        """Per-translation *execution* counts for this window.
+
+        Used by the Figure 8 phase-quality analysis (Manhattan distance
+        between translation vectors of windows sharing a signature).
+        """
+        return dict(self._exec_counts)
+
+    def flush(self) -> None:
+        """Clear the buffer for the next execution window."""
+        self._instr_counts.clear()
+        self._exec_counts.clear()
+        self.window_executions = 0
+        self.windows_completed += 1
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._instr_counts)
+
+    @property
+    def storage_bytes(self) -> int:
+        """1 KB for the paper's 128-entry configuration."""
+        return self.n_entries * 8

@@ -1,0 +1,80 @@
+"""Gating policy vectors (§IV-B3, Figure 6(b)).
+
+A policy vector is 4 bits: V (VPU on/off), B (BPU large side on/off), and
+M (two bits selecting all ways / half the ways / one way of the MLC).  The
+MLC keeps servicing requests in every state; the VPU and BPU fall back to
+scalar emulation and the small local predictor respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import DesignPoint
+
+#: Two-bit MLC field encodings (Figure 6(b) shows M=01 and M=11).  The
+#: fourth encoding, 0b10, is reserved in the paper's 3-state policy and
+#: carries the quarter-ways state of the extended 4-state policy (§IV-B3
+#: notes states can be added by using more encodings/bits).
+_MLC_ONE_WAY = 0b00
+_MLC_HALF_WAYS = 0b01
+_MLC_QUARTER_WAYS = 0b10
+_MLC_ALL_WAYS = 0b11
+
+
+@dataclass(frozen=True)
+class PolicyVector:
+    """Power-gating states for the three managed units."""
+
+    vpu_on: bool
+    bpu_on: bool
+    mlc_ways: int
+
+    def validate(self, design: DesignPoint) -> None:
+        if self.mlc_ways not in design.mlc_way_states_extended:
+            raise ValueError(
+                f"mlc_ways={self.mlc_ways} not one of "
+                f"{design.mlc_way_states_extended}"
+            )
+
+
+def full_power_policy(design: DesignPoint) -> PolicyVector:
+    """Everything on — the paper's baseline configuration."""
+    return PolicyVector(vpu_on=True, bpu_on=True, mlc_ways=design.mlc_assoc)
+
+
+def min_power_policy(design: DesignPoint) -> PolicyVector:
+    """Everything in its lowest-power state (§V-D's 'minimally-powered')."""
+    return PolicyVector(vpu_on=False, bpu_on=False, mlc_ways=1)
+
+
+def encode_policy_bits(policy: PolicyVector, design: DesignPoint) -> int:
+    """Encode a policy as the PVT's 4-bit vector (V,B,M1,M0)."""
+    policy.validate(design)
+    one, quarter, half, full = design.mlc_way_states_extended
+    if policy.mlc_ways == full:
+        mlc_bits = _MLC_ALL_WAYS
+    elif policy.mlc_ways == half:
+        mlc_bits = _MLC_HALF_WAYS
+    elif policy.mlc_ways == quarter and quarter not in (one, half):
+        mlc_bits = _MLC_QUARTER_WAYS
+    else:
+        mlc_bits = _MLC_ONE_WAY
+    return (int(policy.vpu_on) << 3) | (int(policy.bpu_on) << 2) | mlc_bits
+
+
+def decode_policy_bits(bits: int, design: DesignPoint) -> PolicyVector:
+    """Decode a 4-bit PVT policy vector."""
+    if not 0 <= bits <= 0b1111:
+        raise ValueError("policy vector is 4 bits")
+    one, quarter, half, full = design.mlc_way_states_extended
+    mlc_bits = bits & 0b11
+    if mlc_bits == _MLC_ALL_WAYS:
+        ways = full
+    elif mlc_bits == _MLC_HALF_WAYS:
+        ways = half
+    elif mlc_bits == _MLC_QUARTER_WAYS:
+        ways = quarter
+    else:
+        ways = one
+    return PolicyVector(vpu_on=bool(bits & 0b1000), bpu_on=bool(bits & 0b0100), mlc_ways=ways)

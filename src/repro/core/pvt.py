@@ -1,0 +1,80 @@
+"""Policy Vector Table (§IV-B3).
+
+A 16-entry fully-associative hardware cache mapping recently-executed phase
+signatures to their 4-bit gating policy vectors, with (approximate) LRU
+replacement — 264 bytes total (16 x (4 x 32-bit PCs + 4 bits)).  A hit at
+a window boundary triggers the stored gating decisions directly in
+hardware; a miss raises a nucleus interrupt into the CDE.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.core.policies import PolicyVector
+from repro.core.signature import PhaseSignature
+
+
+class PolicyVectorTable:
+    """Signature -> policy cache with LRU replacement.
+
+    The hardware uses an approximate LRU; the model uses true LRU, which is
+    the behaviour the approximation converges to (noted in DESIGN.md).
+    """
+
+    def __init__(self, n_entries: int = 16) -> None:
+        if n_entries < 1:
+            raise ValueError("PVT needs at least one entry")
+        self.n_entries = n_entries
+        self._entries: "OrderedDict[PhaseSignature, PolicyVector]" = OrderedDict()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, signature: PhaseSignature) -> Optional[PolicyVector]:
+        """Probe the PVT at a window boundary."""
+        self.lookups += 1
+        policy = self._entries.get(signature)
+        if policy is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.hits += 1
+        return policy
+
+    def insert(
+        self, signature: PhaseSignature, policy: PolicyVector
+    ) -> Optional[Tuple[PhaseSignature, PolicyVector]]:
+        """Register a phase; returns the evicted (signature, policy) if any.
+
+        Evicted entries are stored to memory by the CDE and re-registered on
+        a later capacity miss (§IV-A step 5).
+        """
+        entries = self._entries
+        if signature in entries:
+            entries.move_to_end(signature)
+            entries[signature] = policy
+            return None
+        evicted = None
+        if len(entries) >= self.n_entries:
+            evicted = entries.popitem(last=False)
+            self.evictions += 1
+        entries[signature] = policy
+        return evicted
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: PhaseSignature) -> bool:
+        return signature in self._entries
+
+    @property
+    def storage_bytes(self) -> float:
+        """264 bytes for the paper's 16-entry configuration."""
+        return self.n_entries * (4 * 4 + 0.5)

@@ -1,0 +1,30 @@
+"""Phase signatures (§IV-B1).
+
+A phase signature is the set of the N hottest translations (by dynamic
+instruction count) executed during one execution window.  The paper's
+sensitivity analysis settles on N = 4 with a 1000-translation window; four
+32-bit translation IDs make the 128-bit signature of Figure 6(b).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+#: A signature is an order-insensitive set of translation IDs, stored as a
+#: sorted tuple so it is hashable and deterministic.
+PhaseSignature = Tuple[int, ...]
+
+
+def make_signature(
+    instr_counts: Mapping[int, int], signature_length: int = 4
+) -> PhaseSignature:
+    """Build a signature from per-translation dynamic instruction counts.
+
+    Ties are broken by translation ID so replayed runs produce identical
+    signatures.  Windows with fewer than ``signature_length`` distinct
+    translations yield shorter signatures (still valid identifiers).
+    """
+    if signature_length < 1:
+        raise ValueError("signature length must be >= 1")
+    hottest = sorted(instr_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return tuple(sorted(tid for tid, _count in hottest[:signature_length]))

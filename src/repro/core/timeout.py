@@ -1,0 +1,75 @@
+"""Hardware-only timeout gating baseline (paper §V-E).
+
+The conventional approach PowerChop is compared against: power gate the VPU
+after it has been idle for a fixed number of cycles, and gate it back on
+(reactively, paying the full transition cost) the moment a vector
+instruction needs it.  The paper sweeps timeout periods from 100 to 100 K
+cycles and selects 20 K cycles as the best power saver within a 5 %
+worst-case slowdown; that sweep is reproduced in
+``benchmarks/test_ablation_timeout_sweep.py``.
+
+Timeouts are only plausible for the VPU; the BPU and MLC are active nearly
+continuously (§V-E), so this controller manages the VPU alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.blocks import BlockExec
+from repro.power.accounting import EnergyAccounting
+from repro.uarch.config import DesignPoint
+from repro.uarch.core import CoreModel
+
+
+class TimeoutVPUController:
+    """Idleness-timeout power gating for the VPU."""
+
+    def __init__(
+        self,
+        design: DesignPoint,
+        core: CoreModel,
+        timeout_cycles: float = 20_000.0,
+        accountant: Optional[EnergyAccounting] = None,
+    ) -> None:
+        if timeout_cycles <= 0:
+            raise ValueError("timeout must be positive")
+        self.design = design
+        self.core = core
+        self.timeout_cycles = timeout_cycles
+        self.accountant = accountant
+        self._last_vector_cycle = 0.0
+        self.gate_offs = 0
+        self.gate_ons = 0
+
+    def on_block(self, block_exec: BlockExec, now_cycles: float) -> float:
+        """Run the timeout policy for one dynamic block.
+
+        Must be called *before* the block executes so a vector instruction
+        arriving at a gated-off VPU wakes the unit first (stalling execution
+        for the transition, per §IV-D).  Returns stall cycles.
+        """
+        design = self.design
+        core = self.core
+        uses_vpu = block_exec.block.n_vec > 0
+        cycles = 0.0
+
+        if uses_vpu:
+            if not core.states.vpu_on:
+                cycles += design.vpu_switch_cycles + design.vpu_save_restore_cycles
+                core.apply_vpu_state(True)
+                self.gate_ons += 1
+                if self.accountant is not None:
+                    self.accountant.on_switch("vpu", True, now_cycles)
+            self._last_vector_cycle = now_cycles
+        elif (
+            core.states.vpu_on
+            and now_cycles - self._last_vector_cycle > self.timeout_cycles
+        ):
+            cycles += design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            core.apply_vpu_state(False)
+            self.gate_offs += 1
+            if self.accountant is not None:
+                self.accountant.on_switch("vpu", False, now_cycles)
+
+        return cycles

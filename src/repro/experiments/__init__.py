@@ -1,0 +1,60 @@
+"""Experiment harness: one module per table/figure in the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
+produces the table or ASCII-bar figure.  The benchmark suite under
+``benchmarks/`` drives these, and ``scripts/generate_experiments_md.py``
+collects them all into EXPERIMENTS.md.
+
+Instruction budgets scale with the ``REPRO_SCALE`` environment variable
+(default 1.0); CI-style smoke runs can set e.g. ``REPRO_SCALE=0.1``.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    instructions_for,
+    run_cached,
+    scale,
+)
+
+#: The paper's claim for each experiment id — used by EXPERIMENTS.md
+#: generation (scripts/generate_experiments_md.py and the benchmark
+#: suite's session report).
+PAPER_CLAIMS = {
+    "headline": "server core power -9% avg (to -33%); mobile -19% avg "
+                "(to -40%); ~2% slowdown",
+    "fig01": "gobmk vector intensity varies across phases, with long "
+             "low-but-nonzero stretches",
+    "fig02": "large BPU improves msn IPC overall but not in many phases",
+    "fig03": "full MLC helps gems only in MLC-resident phases",
+    "fig08": "phase detection: mean 2.8% Manhattan distance "
+             "(97.8% identical), max 6.8%",
+    "fig09": "mobile: VPU gated ~90%+, BPU ~40% avg, MLC ~20%",
+    "fig10": "server: VPU ~90% SPEC-INT; MLC 1-way >40% for streaming "
+             "apps; BPU usually needed",
+    "fig11": "switches/Mcycle: BPU<50, VPU<10, MLC<5",
+    "fig12": "minimal-power loses ~84%; PowerChop ~2.2%",
+    "fig13": "power: -10/-6/-8/-19% per suite; energy -9% avg, to -37%",
+    "fig14": "leakage: -23/-10/-12/-32% per suite; to -52%",
+    "fig15": "many shards carry 0<V<=4 vector ops",
+    "fig16": "PowerChop gates the VPU at least as much as a 20K timeout; "
+             "huge wins on namd/perlbench/h264",
+    "table1": "architectural design points",
+    "table_hwcost": "HTB 1KB ~0.027W ~0.008mm2; PVT 264B",
+    "table_sw_cost": "0.017% of translations miss the PVT; <0.5% overhead",
+    "table_sensitivity": "window=1000 / N=4 chosen by sensitivity analysis",
+    "table_timeout_sweep": "20K-cycle timeout best within 5% worst-case "
+                           "slowdown",
+    "table_thresholds": "ablation: §V-A's aggressive energy-minimising "
+                        "thresholds trade slowdown for power",
+    "table_drowsy": "related work §VI: drowsy MLC saves leakage but is "
+                    "bounded by its retention floor and cache-only scope",
+}
+
+__all__ = [
+    "ExperimentResult",
+    "run_cached",
+    "instructions_for",
+    "scale",
+    "PAPER_CLAIMS",
+]

@@ -1,0 +1,168 @@
+"""Shared infrastructure for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_bars, format_table
+from repro.core.config import PowerChopConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import MOBILE, SERVER, DesignPoint, design_for_suite
+from repro.workloads.profiles import BenchmarkProfile, build_workload
+from repro.workloads.suites import get_profile
+
+#: Baseline per-run instruction budgets (multiplied by REPRO_SCALE).
+_SERVER_INSTRUCTIONS = 4_000_000
+_MOBILE_INSTRUCTIONS = 12_000_000
+
+
+def scale() -> float:
+    """Budget multiplier from the REPRO_SCALE environment variable."""
+    try:
+        value = float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError as exc:
+        raise ValueError("REPRO_SCALE must be a float") from exc
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+def instructions_for(design: DesignPoint, fraction: float = 1.0) -> int:
+    """Instruction budget for one run on ``design``.
+
+    Mobile runs are longer: the mobile core has no LLC, so phase-edge
+    rewarm effects need more amortisation for stable measurements.
+    """
+    base = _MOBILE_INSTRUCTIONS if design.kind == "mobile" else _SERVER_INSTRUCTIONS
+    return max(200_000, int(base * fraction * scale()))
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output plus raw records for one experiment."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str] = ()
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    bars: Optional[Tuple[Sequence[str], Sequence[float], str]] = None
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.bars is not None:
+            labels, values, unit = self.bars
+            parts.append(format_bars(labels, values, unit=unit))
+        if self.summary:
+            parts.append(
+                "summary: "
+                + ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.summary.items()))
+            )
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+# --------------------------------------------------------------- run cache
+
+#: (benchmark, mode, managed_units, timeout, budget) -> (result, phase_log)
+_CACHE: Dict[tuple, Tuple[SimulationResult, list]] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_cached(
+    benchmark: str,
+    mode: GatingMode,
+    managed_units: Tuple[str, ...] = ("vpu", "bpu", "mlc"),
+    timeout_cycles: float = 20_000.0,
+    fraction: float = 1.0,
+    configure: Optional[Callable[[HybridSimulator], None]] = None,
+    cache_tag: str = "",
+) -> Tuple[SimulationResult, list]:
+    """Run (or reuse) one simulation; returns (result, phase log).
+
+    Results are memoised per process so the many figures that share the
+    same full-power / PowerChop / minimal runs only pay for them once.
+    PowerChop runs always collect phase vectors so the Fig. 8 analysis can
+    reuse them.
+    """
+    profile = get_profile(benchmark)
+    design = design_for_suite(profile.suite)
+    budget = instructions_for(design, fraction)
+    key = (benchmark, mode.value, managed_units, timeout_cycles, budget, cache_tag)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    config = None
+    if mode is GatingMode.POWERCHOP:
+        config = PowerChopConfig(
+            managed_units=managed_units, collect_phase_vectors=True
+        )
+    workload = build_workload(profile)
+    simulator = HybridSimulator(
+        design,
+        workload,
+        mode=mode,
+        powerchop_config=config,
+        timeout_cycles=timeout_cycles,
+    )
+    if configure is not None:
+        configure(simulator)
+    result = simulator.run(budget)
+    phase_log = (
+        list(simulator.controller.phase_log) if simulator.controller else []
+    )
+    _CACHE[key] = (result, phase_log)
+    return _CACHE[key]
+
+
+def server_and_mobile_benchmarks() -> List[Tuple[str, DesignPoint]]:
+    """All 29 benchmarks paired with their design point."""
+    from repro.workloads.suites import ALL_BENCHMARKS
+
+    return [(p.name, design_for_suite(p.suite)) for p in ALL_BENCHMARKS]
+
+
+def timeseries_ipc(
+    design: DesignPoint,
+    profile: BenchmarkProfile,
+    configure: Callable[[HybridSimulator], None],
+    max_instructions: int,
+    sample_instructions: int,
+) -> List[float]:
+    """IPC sampled every ``sample_instructions`` (for Figs. 2 and 3).
+
+    Runs a full-power simulation with ``configure`` applied first (e.g.
+    forcing the small BPU or a 1-way MLC) and records windowed IPC.
+    """
+    from repro.bt.runtime import ExecMode
+
+    workload = build_workload(profile)
+    simulator = HybridSimulator(design, workload, GatingMode.FULL)
+    configure(simulator)
+    core, bt = simulator.core, simulator.bt
+    series: List[float] = []
+    cycles = 0.0
+    last_cycles = 0.0
+    last_instr = 0
+    boundary = sample_instructions
+    for block_exec in workload.trace(max_instructions):
+        exec_mode, bt_cycles, _entered = bt.on_block(block_exec.block)
+        cycles += bt_cycles
+        cycles += core.execute_block(block_exec, exec_mode is ExecMode.INTERPRETED)
+        instructions = core.counters.instructions
+        if instructions >= boundary:
+            delta_c = cycles - last_cycles
+            delta_i = instructions - last_instr
+            series.append(delta_i / delta_c if delta_c else 0.0)
+            last_cycles, last_instr = cycles, instructions
+            boundary += sample_instructions
+    return series

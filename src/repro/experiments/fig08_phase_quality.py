@@ -1,0 +1,49 @@
+"""Figure 8: code similarity between same-signature execution windows.
+
+Paper result: across applications the mean Manhattan distance between
+translation vectors of same-signature windows is 2.8 % (28/1000
+translations) and never exceeds 6.8 % — i.e. 97.8 % of translations are
+identical on average, validating the hottest-4 signature scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import mean
+from repro.analysis.phases import phase_quality
+from repro.experiments.common import ExperimentResult, run_cached
+from repro.sim.simulator import GatingMode
+from repro.workloads.suites import ALL_BENCHMARKS
+
+
+def run(benchmarks: List[str] | None = None) -> ExperimentResult:
+    names = benchmarks or [p.name for p in ALL_BENCHMARKS]
+    rows = []
+    normalised: List[float] = []
+    for name in names:
+        _result, phase_log = run_cached(name, GatingMode.POWERCHOP)
+        quality = phase_quality(phase_log)
+        rows.append(
+            (
+                name,
+                quality.windows,
+                quality.recurring_signatures,
+                f"{quality.mean_normalised:.2%}",
+                f"{quality.identical_fraction:.2%}",
+            )
+        )
+        normalised.append(quality.mean_normalised)
+    return ExperimentResult(
+        experiment_id="fig08",
+        title="Phase identification quality (Manhattan distance, same-signature windows)",
+        headers=("benchmark", "windows", "recurring_sigs", "mean_dist", "identical"),
+        rows=rows,
+        summary={
+            "mean_distance_frac": mean(normalised) if normalised else 0.0,
+            "max_distance_frac": max(normalised) if normalised else 0.0,
+        },
+        notes=[
+            "Paper: mean 2.8% distance (97.8% of translations identical), max 6.8%.",
+        ],
+    )

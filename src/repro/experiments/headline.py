@@ -1,0 +1,52 @@
+"""The abstract's headline numbers.
+
+"PowerChop significantly decreases power consumption, reducing the power of
+a hybrid server core by 9% on average (up to 33%) and a hybrid mobile core
+by 19% (up to 40%) while introducing just 2% slowdown."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import mean
+from repro.experiments.common import ExperimentResult, run_cached
+from repro.sim.results import power_reduction, slowdown
+from repro.sim.simulator import GatingMode
+from repro.workloads.suites import mobile_benchmarks, server_benchmarks
+
+
+def run() -> ExperimentResult:
+    rows = []
+    summary = {}
+    slowdowns = []
+    for label, profiles in (
+        ("server", server_benchmarks()),
+        ("mobile", mobile_benchmarks()),
+    ):
+        reductions = []
+        for profile in profiles:
+            full, _ = run_cached(profile.name, GatingMode.FULL)
+            chopped, _ = run_cached(profile.name, GatingMode.POWERCHOP)
+            reductions.append(power_reduction(full, chopped))
+            slowdowns.append(slowdown(full, chopped))
+        rows.append(
+            (
+                label,
+                len(profiles),
+                f"{mean(reductions):.1%}",
+                f"{max(reductions):.1%}",
+            )
+        )
+        summary[f"{label}_mean_power_reduction"] = mean(reductions)
+        summary[f"{label}_max_power_reduction"] = max(reductions)
+    summary["mean_slowdown"] = mean(slowdowns)
+    return ExperimentResult(
+        experiment_id="headline",
+        title="Abstract headline: core power reduction and slowdown",
+        headers=("core", "apps", "mean_power_reduction", "max_power_reduction"),
+        rows=rows,
+        summary=summary,
+        notes=[
+            "Paper: server -9% avg (to -33%), mobile -19% avg (to -40%), "
+            "~2% slowdown.",
+        ],
+    )

@@ -1,0 +1,113 @@
+"""Related-work comparison: drowsy MLC vs PowerChop way-gating (§VI).
+
+The paper's related work cites Flautner et al.'s drowsy cache as the
+per-line leakage alternative for caches.  This experiment quantifies the
+comparison on our substrate: a periodically-drowsed MLC retains state (no
+rewarm, tiny wake penalty) and cuts *MLC leakage only* toward the drowsy
+floor, while PowerChop's way gating reaches the deeper power-gated floor
+(5 % vs 25 % retention leakage), additionally saves MLC *dynamic* energy in
+gated states, and extends to non-cache units (VPU, BPU) a drowsy scheme
+cannot cover.
+
+The drowsy model is driven by the workload's MLC-demand stream (addresses
+filtered through a private L1 of the same geometry) with time approximated
+at one instruction per cycle — adequate for a leakage-residency bound, as
+noted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult, instructions_for, run_cached
+from repro.sim.simulator import GatingMode
+from repro.uarch.cache.cache import SetAssocCache
+from repro.uarch.cache.drowsy import DrowsyMLCController, DrowsySetAssocCache
+from repro.uarch.config import design_for_suite
+from repro.workloads.profiles import build_workload
+from repro.workloads.suites import get_profile
+
+_DEFAULT_APPS = ("gems", "libquantum", "hmmer", "amazon")
+
+
+def drowsy_mlc_stats(
+    benchmark: str, interval_cycles: float = 4000.0, fraction: float = 0.25
+):
+    """Replay a workload's MLC-demand stream through a drowsy MLC."""
+    profile = get_profile(benchmark)
+    design = design_for_suite(profile.suite)
+    budget = instructions_for(design, fraction)
+    workload = build_workload(profile)
+    l1 = SetAssocCache(design.l1_kb, design.l1_assoc, design.line_size, "L1")
+    mlc = DrowsySetAssocCache(
+        design.mlc_kb, design.mlc_assoc, design.line_size, "drowsyMLC"
+    )
+    controller = DrowsyMLCController(mlc, interval_cycles)
+    cycles = 0.0
+    for block_exec in workload.trace(budget):
+        cycles += block_exec.block.n_instr  # ~1 IPC time approximation
+        controller.tick(cycles)
+        addresses = block_exec.addresses
+        if addresses:
+            loads = block_exec.block.n_loads
+            for i, addr in enumerate(addresses):
+                if not l1.access(addr, i >= loads):
+                    mlc.access_timed(addr, cycles, i >= loads)
+    leak_factor = controller.mlc_leakage_factor(cycles)
+    # Overhead relative to realistic cycle counts: rescale the 1-IPC time
+    # approximation by the benchmark's measured full-power CPI.
+    full, _ = run_cached(benchmark, GatingMode.FULL)
+    cpi = full.cycles / full.instructions if full.instructions else 1.0
+    wake_overhead = (
+        controller.wake_stall_cycles() / (cycles * cpi) if cycles else 0.0
+    )
+    return leak_factor, wake_overhead, controller.drowse_events
+
+
+def powerchop_mlc_leak_factor(benchmark: str) -> float:
+    """Effective MLC leakage multiplier under PowerChop way-gating."""
+    profile = get_profile(benchmark)
+    design = design_for_suite(profile.suite)
+    result, _ = run_cached(benchmark, GatingMode.POWERCHOP)
+    gated = design.gated_leakage_frac
+    factor = 0.0
+    for ways, residency in result.energy.mlc_way_residency.items():
+        active = ways / design.mlc_assoc
+        factor += residency * (active + (1.0 - active) * gated)
+    return factor
+
+
+def run(benchmarks: Sequence[str] = _DEFAULT_APPS) -> ExperimentResult:
+    rows = []
+    chop_better = 0
+    for name in benchmarks:
+        drowsy_factor, wake_overhead, events = drowsy_mlc_stats(name)
+        chop_factor = powerchop_mlc_leak_factor(name)
+        if chop_factor < drowsy_factor:
+            chop_better += 1
+        rows.append(
+            (
+                name,
+                f"{1 - drowsy_factor:.1%}",
+                f"{wake_overhead:.3%}",
+                f"{1 - chop_factor:.1%}",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="table_drowsy",
+        title="MLC leakage reduction: drowsy cache vs PowerChop way gating",
+        headers=(
+            "benchmark",
+            "drowsy_mlc_leak_saved",
+            "drowsy_wake_overhead",
+            "powerchop_mlc_leak_saved",
+        ),
+        rows=rows,
+        summary={"apps_where_powerchop_saves_more": float(chop_better)},
+        notes=[
+            "Drowsy mode saves MLC leakage on every app (bounded by the 25% "
+            "retention floor) but cannot save MLC dynamic energy and does "
+            "not generalise to the VPU/BPU; PowerChop reaches the 5% "
+            "power-gated floor on apps with non-critical MLC phases.",
+        ],
+    )

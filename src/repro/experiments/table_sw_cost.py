@@ -1,0 +1,53 @@
+"""Software-side overhead of PowerChop (paper §IV-C3).
+
+Paper result: across SPEC CPU2006 an average of 0.017 % of translations
+cause PVT misses, costing less than 0.5 % additional performance over the
+conventional BT.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import mean
+from repro.experiments.common import ExperimentResult, run_cached
+from repro.sim.simulator import GatingMode
+from repro.workloads.suites import SPEC_FP, SPEC_INT
+
+
+def run(benchmarks: List[str] | None = None) -> ExperimentResult:
+    names = benchmarks or [p.name for p in SPEC_INT + SPEC_FP]
+    rows = []
+    miss_rates = []
+    cde_fracs = []
+    for name in names:
+        result, _ = run_cached(name, GatingMode.POWERCHOP)
+        miss_rate = result.pvt_miss_rate_per_translation
+        cde_cycles = result.extra.get("nucleus_cycles", 0.0)
+        cde_frac = cde_cycles / result.cycles if result.cycles else 0.0
+        miss_rates.append(miss_rate)
+        cde_fracs.append(cde_frac)
+        rows.append(
+            (
+                name,
+                result.pvt_misses,
+                result.translation_executions,
+                f"{miss_rate:.4%}",
+                f"{cde_frac:.3%}",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="table_sw_cost",
+        title="PVT miss rate and CDE overhead on SPEC (paper §IV-C3)",
+        headers=("benchmark", "pvt_misses", "translations", "miss_rate", "cde_cycles"),
+        rows=rows,
+        summary={
+            "mean_miss_rate": mean(miss_rates) if miss_rates else 0.0,
+            "mean_cde_overhead": mean(cde_fracs) if cde_fracs else 0.0,
+        },
+        notes=[
+            "Paper: 0.017% of translations miss the PVT; < 0.5% performance"
+            " overhead.  Our compressed phases raise the miss rate "
+            "proportionally (phases recur ~100x less often).",
+        ],
+    )

@@ -1,0 +1,38 @@
+"""Guest ISA abstractions for the hybrid-processor simulator.
+
+The simulator does not decode a real ISA.  Instead, guest programs are
+described at the granularity the PowerChop mechanism actually observes:
+basic blocks carrying an instruction-class mix (scalar, vector, memory,
+branch), organised into code regions (small CFGs).  Branch *behaviour* is
+attached to static branches through pluggable outcome models so that real
+branch-predictor hardware models can be exercised faithfully.
+"""
+
+from repro.isa.instructions import InstrClass, InstructionMix
+from repro.isa.branches import (
+    BiasedBranch,
+    BranchModel,
+    GlobalCorrelatedBranch,
+    GlobalHistory,
+    LoopBranch,
+    PatternBranch,
+    RandomBranch,
+    StaticBranch,
+)
+from repro.isa.blocks import BasicBlock, BlockExec, CodeRegion
+
+__all__ = [
+    "InstrClass",
+    "InstructionMix",
+    "BranchModel",
+    "BiasedBranch",
+    "LoopBranch",
+    "PatternBranch",
+    "GlobalCorrelatedBranch",
+    "RandomBranch",
+    "StaticBranch",
+    "GlobalHistory",
+    "BasicBlock",
+    "BlockExec",
+    "CodeRegion",
+]

@@ -1,0 +1,130 @@
+"""Basic blocks and code regions for synthetic guest programs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.isa.branches import GlobalHistory, StaticBranch
+from repro.isa.instructions import InstructionMix
+
+#: Bytes per guest instruction (fixed-width guest encoding assumed).
+INSTR_BYTES = 4
+
+
+class BasicBlock:
+    """A static basic block: straight-line code ending in (at most) a branch.
+
+    ``taken_succ`` / ``fall_succ`` are indices into the owning region's block
+    list.  Unconditional blocks carry no :class:`StaticBranch` and always fall
+    through to ``fall_succ``.
+    """
+
+    __slots__ = (
+        "pc",
+        "mix",
+        "branch",
+        "taken_succ",
+        "fall_succ",
+        "region_id",
+        "n_instr",
+        "n_mem",
+        "n_loads",
+        "n_vec",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        mix: InstructionMix,
+        branch: Optional[StaticBranch] = None,
+        taken_succ: int = 0,
+        fall_succ: int = 0,
+    ) -> None:
+        mix.validate()
+        if mix.has_branch != (branch is not None):
+            raise ValueError("mix.has_branch must match presence of a branch model")
+        self.pc = pc
+        self.mix = mix
+        self.branch = branch
+        self.taken_succ = taken_succ
+        self.fall_succ = fall_succ
+        self.region_id = -1
+        # Cached mix-derived counts: this object sits on the simulator's
+        # hottest path, where property indirection is measurable.
+        self.n_instr = mix.total
+        self.n_mem = mix.memory_ops
+        self.n_loads = mix.loads
+        self.n_vec = mix.vector
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_instr * INSTR_BYTES
+
+    def next_block(self, history: GlobalHistory) -> tuple[int, bool]:
+        """Resolve control flow; returns (successor index, branch taken)."""
+        if self.branch is None:
+            return self.fall_succ, False
+        taken = self.branch.resolve(history)
+        return (self.taken_succ if taken else self.fall_succ), taken
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BasicBlock(pc={self.pc:#x}, n_instr={self.n_instr})"
+
+
+class CodeRegion:
+    """A small CFG of basic blocks — the unit of code a phase executes from.
+
+    Regions are what the binary translator's region cache ultimately carves
+    translations out of; a phase in a synthetic program is (roughly) a stretch
+    of execution confined to one region.
+    """
+
+    def __init__(self, region_id: int, blocks: Sequence[BasicBlock], entry: int = 0) -> None:
+        if not blocks:
+            raise ValueError("a code region needs at least one block")
+        if not 0 <= entry < len(blocks):
+            raise ValueError("entry index out of range")
+        for block in blocks:
+            for succ in (block.taken_succ, block.fall_succ):
+                if not 0 <= succ < len(blocks):
+                    raise ValueError(f"successor index {succ} out of range")
+            block.region_id = region_id
+        self.region_id = region_id
+        self.blocks: List[BasicBlock] = list(blocks)
+        self.entry = entry
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_static_instructions(self) -> int:
+        return sum(b.n_instr for b in self.blocks)
+
+    def block_pcs(self) -> List[int]:
+        return [b.pc for b in self.blocks]
+
+
+class BlockExec:
+    """One dynamic execution of a basic block, as seen by the simulator.
+
+    Carries everything the timing model needs: the static block, the resolved
+    branch outcome, and the memory addresses this execution touches.
+    """
+
+    __slots__ = ("block", "taken", "addresses", "phase_name")
+
+    def __init__(
+        self,
+        block: BasicBlock,
+        taken: bool,
+        addresses: Sequence[int],
+        phase_name: str = "",
+    ) -> None:
+        self.block = block
+        self.taken = taken
+        self.addresses = addresses
+        self.phase_name = phase_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BlockExec(pc={self.block.pc:#x}, taken={self.taken})"

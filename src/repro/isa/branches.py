@@ -1,0 +1,191 @@
+"""Branch outcome models.
+
+Each *static* branch in a synthetic program owns a :class:`BranchModel`
+instance that produces its dynamic outcome stream.  The models span the
+behaviour classes that differentiate a small local predictor from a large
+tournament predictor (the distinction PowerChop's BPU criticality metric is
+built on):
+
+- :class:`BiasedBranch` — Bernoulli outcomes; trivially predictable when the
+  bias is strong, irreducibly noisy when it is weak.
+- :class:`LoopBranch` — classic loop backedge, taken ``period - 1`` times and
+  then not taken.
+- :class:`PatternBranch` — short repeating pattern; captured by a two-level
+  local predictor with sufficient history.
+- :class:`GlobalCorrelatedBranch` — outcome is a parity function of recent
+  *global* branch outcomes, the canonical case where a global/tournament
+  predictor wins and a purely local predictor cannot.
+- :class:`RandomBranch` — alias of a 50/50 biased branch; unpredictable for
+  every predictor, so a larger BPU provides no benefit.
+
+Outcome generation is deterministic given the model's seed, which keeps every
+experiment in the repository reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class GlobalHistory:
+    """Shift register of recent dynamic branch outcomes program-wide.
+
+    The workload generator owns one instance and feeds every resolved branch
+    outcome into it; :class:`GlobalCorrelatedBranch` models read it.  This is
+    *program behaviour*, distinct from the predictor's own history registers.
+    """
+
+    __slots__ = ("bits", "_mask")
+
+    def __init__(self, depth: int = 16) -> None:
+        self.bits = 0
+        self._mask = (1 << depth) - 1
+
+    def push(self, taken: bool) -> None:
+        self.bits = ((self.bits << 1) | int(taken)) & self._mask
+
+    def bit(self, offset: int) -> int:
+        """Outcome of the branch ``offset`` places back (0 = most recent)."""
+        return (self.bits >> offset) & 1
+
+
+class BranchModel:
+    """Interface for dynamic branch outcome generation."""
+
+    def next_outcome(self, history: GlobalHistory) -> bool:
+        raise NotImplementedError
+
+    def clone(self) -> "BranchModel":
+        """Fresh instance with identical parameters and reset state."""
+        raise NotImplementedError
+
+
+class BiasedBranch(BranchModel):
+    """Branch taken with fixed probability ``p_taken``."""
+
+    __slots__ = ("p_taken", "seed", "_rng")
+
+    def __init__(self, p_taken: float, seed: int = 0) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be in [0, 1], got {p_taken}")
+        self.p_taken = p_taken
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def next_outcome(self, history: GlobalHistory) -> bool:
+        return self._rng.random() < self.p_taken
+
+    def clone(self) -> "BiasedBranch":
+        return BiasedBranch(self.p_taken, self.seed)
+
+
+class RandomBranch(BiasedBranch):
+    """Fully unpredictable branch (50/50)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(0.5, seed)
+
+    def clone(self) -> "RandomBranch":
+        return RandomBranch(self.seed)
+
+
+class LoopBranch(BranchModel):
+    """Loop backedge: taken ``period - 1`` consecutive times, then not taken."""
+
+    __slots__ = ("period", "_count")
+
+    def __init__(self, period: int) -> None:
+        if period < 2:
+            raise ValueError("loop period must be >= 2")
+        self.period = period
+        self._count = 0
+
+    def next_outcome(self, history: GlobalHistory) -> bool:
+        self._count += 1
+        if self._count >= self.period:
+            self._count = 0
+            return False
+        return True
+
+    def clone(self) -> "LoopBranch":
+        return LoopBranch(self.period)
+
+
+class PatternBranch(BranchModel):
+    """Deterministic repeating outcome pattern (e.g. T T N T)."""
+
+    __slots__ = ("pattern", "_pos")
+
+    def __init__(self, pattern: Sequence[bool]) -> None:
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = tuple(bool(b) for b in pattern)
+        self._pos = 0
+
+    def next_outcome(self, history: GlobalHistory) -> bool:
+        outcome = self.pattern[self._pos]
+        self._pos = (self._pos + 1) % len(self.pattern)
+        return outcome
+
+    def clone(self) -> "PatternBranch":
+        return PatternBranch(self.pattern)
+
+
+class GlobalCorrelatedBranch(BranchModel):
+    """Outcome is the parity of selected recent global outcomes, plus noise.
+
+    ``offsets`` selects which global-history bits participate.  With zero
+    ``noise`` a global predictor with enough history predicts this branch
+    perfectly while a local predictor sees an apparently random stream.
+    """
+
+    __slots__ = ("offsets", "noise", "invert", "seed", "_rng")
+
+    def __init__(
+        self,
+        offsets: Sequence[int] = (1, 2),
+        noise: float = 0.02,
+        invert: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if not offsets:
+            raise ValueError("offsets must be non-empty")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        self.offsets = tuple(int(o) for o in offsets)
+        self.noise = noise
+        self.invert = invert
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def next_outcome(self, history: GlobalHistory) -> bool:
+        parity = 0
+        for offset in self.offsets:
+            parity ^= history.bit(offset)
+        outcome = bool(parity) ^ self.invert
+        if self.noise and self._rng.random() < self.noise:
+            outcome = not outcome
+        return outcome
+
+    def clone(self) -> "GlobalCorrelatedBranch":
+        return GlobalCorrelatedBranch(self.offsets, self.noise, self.invert, self.seed)
+
+
+@dataclass
+class StaticBranch:
+    """A static conditional branch instruction inside a basic block."""
+
+    pc: int
+    model: BranchModel
+    taken_target: int = 0
+    fallthrough_target: int = 0
+    executions: int = field(default=0, compare=False)
+
+    def resolve(self, history: GlobalHistory) -> bool:
+        """Produce the next dynamic outcome and record it in global history."""
+        outcome = self.model.next_outcome(history)
+        history.push(outcome)
+        self.executions += 1
+        return outcome

@@ -1,0 +1,49 @@
+"""Instruction classes and per-block instruction mixes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class InstrClass(IntEnum):
+    """Coarse guest instruction classes the timing model distinguishes."""
+
+    SCALAR = 0
+    VECTOR = 1
+    BRANCH = 2
+    LOAD = 3
+    STORE = 4
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Counts of each instruction class within one basic block.
+
+    ``scalar`` covers integer/FP ALU work that executes on the always-on
+    scalar datapath.  ``vector`` instructions execute on the VPU when it is
+    gated on; when it is gated off the binary translator emits a scalar
+    emulation sequence instead (see :mod:`repro.bt.translator`).
+    """
+
+    scalar: int = 0
+    vector: int = 0
+    loads: int = 0
+    stores: int = 0
+    has_branch: bool = True
+
+    @property
+    def memory_ops(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def total(self) -> int:
+        """Total guest instructions in the block (branch included)."""
+        branch = 1 if self.has_branch else 0
+        return self.scalar + self.vector + self.loads + self.stores + branch
+
+    def validate(self) -> None:
+        if min(self.scalar, self.vector, self.loads, self.stores) < 0:
+            raise ValueError("instruction counts must be non-negative")
+        if self.total <= 0:
+            raise ValueError("a basic block must contain at least one instruction")

@@ -1,0 +1,22 @@
+"""Power modelling: McPAT-lite unit budgets, CACTI-lite SRAM estimates,
+the Hu et al. gating-overhead model (paper Eq. 1), and energy accounting.
+
+Absolute Watts are representative 32 nm values, not authoritative; the
+paper's claims are all *relative* (percent power/energy/leakage reduction),
+which is what the accounting layer reports.
+"""
+
+from repro.power.cacti import SramEstimate, estimate_sram
+from repro.power.gating import GatingOverheadModel
+from repro.power.mcpat import CorePowerModel, UnitPower
+from repro.power.accounting import EnergyAccounting, EnergyReport
+
+__all__ = [
+    "SramEstimate",
+    "estimate_sram",
+    "GatingOverheadModel",
+    "CorePowerModel",
+    "UnitPower",
+    "EnergyAccounting",
+    "EnergyReport",
+]

@@ -1,0 +1,117 @@
+"""McPAT-lite: per-unit leakage and per-event dynamic energy budgets.
+
+Unit leakage is apportioned from the design point's total core leakage by
+the Table I area fractions (leakage tracks area to first order at a fixed
+node).  Per-event dynamic energies are derived from each unit's share of
+the core's peak dynamic power at a nominal peak activity rate, so that the
+relative dynamic contributions of the units are sensible even though the
+absolute Joules are synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import DesignPoint
+
+#: Nominal peak event rates (events per cycle) used to convert a unit's
+#: peak-power share into a per-event energy.
+_MLC_PEAK_ACCESS_RATE = 1.0 / 8.0
+_BPU_PEAK_LOOKUP_RATE = 1.0 / 2.0
+_VPU_PEAK_OP_RATE = 1.0 / 2.0
+#: Energy of a small-BPU lookup relative to the full tournament lookup.
+_SMALL_BPU_ENERGY_FRAC = 0.15
+#: Way-gated MLC accesses still drive tag logic: fixed + per-way components.
+_MLC_FIXED_ENERGY_FRAC = 0.25
+
+
+@dataclass(frozen=True)
+class UnitPower:
+    """Leakage and per-event dynamic energy for one gateable unit."""
+
+    name: str
+    leakage_w: float
+    event_energy_j: float
+
+
+class CorePowerModel:
+    """Per-unit power budgets for one design point."""
+
+    def __init__(self, design: DesignPoint) -> None:
+        self.design = design
+        freq = design.frequency_hz
+        leak = design.core_leakage_w
+        peak = design.core_peak_dynamic_w
+
+        managed_frac = design.mlc_area_frac + design.vpu_area_frac + design.bpu_area_frac
+        if managed_frac >= 1.0:
+            raise ValueError("unit area fractions exceed the core")
+
+        self.mlc = UnitPower(
+            "mlc",
+            leakage_w=design.mlc_area_frac * leak,
+            event_energy_j=design.mlc_area_frac * peak / (freq * _MLC_PEAK_ACCESS_RATE),
+        )
+        self.vpu = UnitPower(
+            "vpu",
+            leakage_w=design.vpu_area_frac * leak,
+            event_energy_j=design.vpu_area_frac * peak / (freq * _VPU_PEAK_OP_RATE),
+        )
+        self.bpu = UnitPower(
+            "bpu",
+            leakage_w=design.bpu_area_frac * leak,
+            event_energy_j=design.bpu_area_frac * peak / (freq * _BPU_PEAK_LOOKUP_RATE),
+        )
+        self.other_leakage_w = (1.0 - managed_frac) * leak
+        # Everything not in a managed unit: issue/execute/L1/etc., charged
+        # per micro-op at peak issue rate.
+        self.base_uop_energy_j = (
+            (1.0 - managed_frac) * peak / (freq * design.issue_width)
+        )
+
+    # ------------------------------------------------------ leakage states
+
+    def mlc_leakage_w(self, active_ways: int) -> float:
+        """MLC leakage with way gating: gated ways leak at 5 % (§IV-D)."""
+        design = self.design
+        frac_active = active_ways / design.mlc_assoc
+        gated = design.gated_leakage_frac
+        return self.mlc.leakage_w * (frac_active + (1.0 - frac_active) * gated)
+
+    def vpu_leakage_w(self, powered_on: bool) -> float:
+        if powered_on:
+            return self.vpu.leakage_w
+        return self.vpu.leakage_w * self.design.gated_leakage_frac
+
+    def bpu_leakage_w(self, large_on: bool) -> float:
+        """Leakage of the gateable large side (the small side is in 'other')."""
+        if large_on:
+            return self.bpu.leakage_w
+        return self.bpu.leakage_w * self.design.gated_leakage_frac
+
+    # ------------------------------------------------------ dynamic events
+
+    def mlc_access_energy_j(self, active_ways: int) -> float:
+        frac = active_ways / self.design.mlc_assoc
+        scale = _MLC_FIXED_ENERGY_FRAC + (1.0 - _MLC_FIXED_ENERGY_FRAC) * frac
+        return self.mlc.event_energy_j * scale
+
+    def bpu_lookup_energy_j(self, large_on: bool) -> float:
+        if large_on:
+            return self.bpu.event_energy_j
+        return self.bpu.event_energy_j * _SMALL_BPU_ENERGY_FRAC
+
+    def vpu_op_energy_j(self) -> float:
+        return self.vpu.event_energy_j
+
+    def unit_peak_dynamic_w(self, unit: str) -> float:
+        """Peak dynamic power of a unit (input to the gating-energy model)."""
+        fractions = {
+            "mlc": self.design.mlc_area_frac,
+            "vpu": self.design.vpu_area_frac,
+            "bpu": self.design.bpu_area_frac,
+        }
+        try:
+            return fractions[unit] * self.design.core_peak_dynamic_w
+        except KeyError:
+            raise KeyError(f"unknown unit {unit!r}") from None

@@ -1,0 +1,113 @@
+"""Simulation result records and cross-run comparison metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.power.accounting import EnergyReport
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produces."""
+
+    benchmark: str
+    suite: str
+    design: str
+    mode: str
+
+    instructions: int = 0
+    micro_ops: int = 0
+    cycles: float = 0.0
+    energy: Optional[EnergyReport] = None
+
+    branches: int = 0
+    mispredicts: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    mlc_hits: int = 0
+    mlc_misses: int = 0
+    mlc_writebacks: int = 0
+
+    interpreted_instructions: int = 0
+    translations_built: int = 0
+    translation_executions: int = 0
+
+    windows: int = 0
+    pvt_lookups: int = 0
+    pvt_hits: int = 0
+    pvt_misses: int = 0
+    pvt_evictions: int = 0
+    cde_invocations: int = 0
+    new_phases: int = 0
+    switch_counts: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def mlc_hit_rate(self) -> float:
+        accesses = self.mlc_hits + self.mlc_misses
+        return self.mlc_hits / accesses if accesses else 0.0
+
+    @property
+    def pvt_miss_rate_per_translation(self) -> float:
+        if not self.translation_executions:
+            return 0.0
+        return self.pvt_misses / self.translation_executions
+
+    def switches_per_million_cycles(self, unit: str) -> float:
+        """Fig. 11's metric: gating state changes per million cycles."""
+        if not self.cycles:
+            return 0.0
+        return self.switch_counts.get(unit, 0) * 1e6 / self.cycles
+
+
+def _require_same_workload(baseline: SimulationResult, other: SimulationResult) -> None:
+    if baseline.benchmark != other.benchmark or baseline.design != other.design:
+        raise ValueError(
+            "comparisons require the same benchmark and design: "
+            f"{baseline.benchmark}/{baseline.design} vs {other.benchmark}/{other.design}"
+        )
+
+
+def slowdown(baseline: SimulationResult, other: SimulationResult) -> float:
+    """Relative slowdown of ``other`` vs ``baseline`` (0.02 = 2 % slower)."""
+    _require_same_workload(baseline, other)
+    if not baseline.cycles:
+        return 0.0
+    return other.cycles / baseline.cycles - 1.0
+
+
+def power_reduction(baseline: SimulationResult, other: SimulationResult) -> float:
+    """Fractional total core power reduction (Fig. 13)."""
+    _require_same_workload(baseline, other)
+    base = baseline.energy.avg_power_w if baseline.energy else 0.0
+    if not base:
+        return 0.0
+    return 1.0 - (other.energy.avg_power_w if other.energy else 0.0) / base
+
+
+def energy_reduction(baseline: SimulationResult, other: SimulationResult) -> float:
+    """Fractional total energy reduction (Fig. 13)."""
+    _require_same_workload(baseline, other)
+    base = baseline.energy.total_j if baseline.energy else 0.0
+    if not base:
+        return 0.0
+    return 1.0 - (other.energy.total_j if other.energy else 0.0) / base
+
+
+def leakage_reduction(baseline: SimulationResult, other: SimulationResult) -> float:
+    """Fractional leakage power reduction (Fig. 14)."""
+    _require_same_workload(baseline, other)
+    base = baseline.energy.avg_leakage_w if baseline.energy else 0.0
+    if not base:
+        return 0.0
+    return 1.0 - (other.energy.avg_leakage_w if other.energy else 0.0) / base

@@ -1,0 +1,174 @@
+"""The top-level hybrid processor simulator."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Union
+
+from repro.bt.runtime import BTRuntime, ExecMode
+from repro.core.config import PowerChopConfig
+from repro.core.controller import PowerChopController
+from repro.core.timeout import TimeoutVPUController
+from repro.power.accounting import EnergyAccounting
+from repro.sim.results import SimulationResult
+from repro.uarch.config import DesignPoint
+from repro.uarch.core import CoreModel
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import BenchmarkProfile, build_workload, regions_of
+
+
+class GatingMode(Enum):
+    """The run configurations evaluated in the paper."""
+
+    FULL = "full"  # all units at full power throughout (baseline)
+    MINIMAL = "minimal"  # all units in their lowest-power state throughout
+    POWERCHOP = "powerchop"  # phase-triggered management
+    TIMEOUT = "timeout"  # HW-only VPU idleness timeout (§V-E baseline)
+
+
+class HybridSimulator:
+    """One simulation run of a workload on a hybrid processor design.
+
+    The simulator threads every dynamic basic block through the BT runtime
+    (interpret / translate / execute from the region cache), charges cycles
+    through the core timing model, lets the active gating controller react,
+    and integrates energy.  Instances are single-use, like the stateful
+    workloads they consume.
+    """
+
+    def __init__(
+        self,
+        design: DesignPoint,
+        workload: SyntheticWorkload,
+        mode: GatingMode = GatingMode.FULL,
+        powerchop_config: Optional[PowerChopConfig] = None,
+        timeout_cycles: float = 20_000.0,
+    ) -> None:
+        self.design = design
+        self.workload = workload
+        self.mode = mode
+        self.core = CoreModel(design)
+        self.bt = BTRuntime(design, regions_of(workload))
+
+        if mode is GatingMode.MINIMAL:
+            self.core.apply_vpu_state(False)
+            self.core.apply_bpu_state(False)
+            self.core.apply_mlc_state(1)
+
+        # The accountant snapshots initial unit states, so it must be
+        # created after the mode's initial configuration is applied.
+        self.accountant = EnergyAccounting(design, self.core)
+
+        self.controller: Optional[PowerChopController] = None
+        self.timeout_controller: Optional[TimeoutVPUController] = None
+        if mode is GatingMode.POWERCHOP:
+            self.controller = PowerChopController(
+                powerchop_config or PowerChopConfig(),
+                design,
+                self.core,
+                self.bt.nucleus,
+                self.accountant,
+            )
+        elif mode is GatingMode.TIMEOUT:
+            self.timeout_controller = TimeoutVPUController(
+                design, self.core, timeout_cycles, self.accountant
+            )
+
+        self.cycles = 0.0
+        self._ran = False
+
+    def run(self, max_instructions: int = 1_000_000) -> SimulationResult:
+        """Execute up to ``max_instructions`` guest instructions."""
+        if self._ran:
+            raise RuntimeError("HybridSimulator instances are single-use")
+        self._ran = True
+        if max_instructions < 1:
+            raise ValueError("max_instructions must be >= 1")
+
+        core = self.core
+        bt = self.bt
+        controller = self.controller
+        timeout_controller = self.timeout_controller
+        execute_block = core.execute_block
+        on_block = bt.on_block
+        interpreted = ExecMode.INTERPRETED
+        cycles = 0.0
+
+        for block_exec in self.workload.trace(max_instructions):
+            if timeout_controller is not None:
+                cycles += timeout_controller.on_block(block_exec, cycles)
+            exec_mode, bt_cycles, entered = on_block(block_exec.block)
+            cycles += bt_cycles
+            if entered is not None and controller is not None:
+                cycles += controller.on_translation_entry(entered, cycles)
+            cycles += execute_block(block_exec, exec_mode is interpreted)
+
+        self.cycles = cycles
+        return self._build_result()
+
+    def _build_result(self) -> SimulationResult:
+        core = self.core
+        energy = self.accountant.finalize(self.cycles)
+        l1 = core.hierarchy.l1
+        mlc = core.hierarchy.mlc
+        result = SimulationResult(
+            benchmark=self.workload.name,
+            suite=self.workload.suite,
+            design=self.design.name,
+            mode=self.mode.value,
+            instructions=core.counters.instructions,
+            micro_ops=core.counters.micro_ops,
+            cycles=self.cycles,
+            energy=energy,
+            branches=core.counters.branches,
+            mispredicts=core.counters.mispredicts,
+            l1_hits=l1.hits,
+            l1_misses=l1.misses,
+            mlc_hits=mlc.hits,
+            mlc_misses=mlc.misses,
+            mlc_writebacks=mlc.writebacks,
+            interpreted_instructions=self.bt.interpreter.interpreted_instructions,
+            translations_built=self.bt.translator.translations_built,
+            switch_counts=dict(energy.switch_counts),
+        )
+        result.extra["nucleus_cycles"] = self.bt.nucleus.cycles
+        result.extra["translation_cycles"] = self.bt.translation_cycles
+        result.extra["prefetch_covered"] = float(core.hierarchy.prefetch_covered)
+        controller = self.controller
+        if controller is not None:
+            result.translation_executions = controller.translation_executions
+            result.windows = controller.windows_seen
+            result.pvt_lookups = controller.pvt.lookups
+            result.pvt_hits = controller.pvt.hits
+            result.pvt_misses = controller.pvt.misses
+            result.pvt_evictions = controller.pvt.evictions
+            result.cde_invocations = controller.cde.invocations
+            result.new_phases = controller.cde.new_phases
+        return result
+
+
+def run_simulation(
+    design: DesignPoint,
+    workload: Union[BenchmarkProfile, SyntheticWorkload],
+    mode: GatingMode = GatingMode.FULL,
+    max_instructions: int = 1_000_000,
+    powerchop_config: Optional[PowerChopConfig] = None,
+    timeout_cycles: float = 20_000.0,
+    seed: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build the workload, run once, return the result.
+
+    Passing a :class:`BenchmarkProfile` (rather than a pre-built workload)
+    guarantees a fresh instruction stream, so repeated calls with different
+    ``mode`` values compare configurations on identical traces.
+    """
+    if isinstance(workload, BenchmarkProfile):
+        workload = build_workload(workload, seed)
+    simulator = HybridSimulator(
+        design,
+        workload,
+        mode=mode,
+        powerchop_config=powerchop_config,
+        timeout_cycles=timeout_cycles,
+    )
+    return simulator.run(max_instructions)

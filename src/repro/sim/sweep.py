@@ -1,0 +1,131 @@
+"""Parameter sweeps (sensitivity and ablation studies)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.config import PowerChopConfig
+from repro.core.criticality import CriticalityThresholds
+from repro.sim.results import (
+    SimulationResult,
+    power_reduction,
+    slowdown,
+)
+from repro.sim.simulator import GatingMode, run_simulation
+from repro.uarch.config import DesignPoint
+from repro.workloads.profiles import BenchmarkProfile
+
+
+def _compare_record(
+    label: str,
+    full: SimulationResult,
+    managed: SimulationResult,
+) -> Dict[str, float]:
+    return {
+        "label": label,
+        "slowdown": slowdown(full, managed),
+        "power_reduction": power_reduction(full, managed),
+        "vpu_gated_frac": managed.energy.vpu_gated_frac,
+        "bpu_gated_frac": managed.energy.bpu_gated_frac,
+    }
+
+
+def sweep_powerchop_thresholds(
+    design: DesignPoint,
+    profile: BenchmarkProfile,
+    vpu_thresholds: Iterable[float],
+    max_instructions: int = 400_000,
+) -> List[Dict[str, float]]:
+    """Sweep Threshold_VPU (and keep the others at defaults)."""
+    full = run_simulation(
+        design, profile, GatingMode.FULL, max_instructions=max_instructions
+    )
+    records = []
+    for threshold in vpu_thresholds:
+        config = PowerChopConfig(
+            thresholds=CriticalityThresholds(vpu=threshold),
+        )
+        managed = run_simulation(
+            design,
+            profile,
+            GatingMode.POWERCHOP,
+            max_instructions=max_instructions,
+            powerchop_config=config,
+        )
+        records.append(_compare_record(f"vpu_threshold={threshold}", full, managed))
+    return records
+
+
+def sweep_window_sizes(
+    design: DesignPoint,
+    profile: BenchmarkProfile,
+    window_sizes: Iterable[int],
+    max_instructions: int = 400_000,
+) -> List[Dict[str, float]]:
+    """Sweep the execution window size (paper's sensitivity analysis)."""
+    full = run_simulation(
+        design, profile, GatingMode.FULL, max_instructions=max_instructions
+    )
+    records = []
+    for window in window_sizes:
+        config = PowerChopConfig(window_size=window)
+        managed = run_simulation(
+            design,
+            profile,
+            GatingMode.POWERCHOP,
+            max_instructions=max_instructions,
+            powerchop_config=config,
+        )
+        record = _compare_record(f"window={window}", full, managed)
+        record["pvt_miss_rate"] = managed.pvt_miss_rate_per_translation
+        records.append(record)
+    return records
+
+
+def sweep_signature_lengths(
+    design: DesignPoint,
+    profile: BenchmarkProfile,
+    lengths: Iterable[int],
+    max_instructions: int = 400_000,
+) -> List[Dict[str, float]]:
+    """Sweep the phase signature length N (paper settles on N = 4)."""
+    full = run_simulation(
+        design, profile, GatingMode.FULL, max_instructions=max_instructions
+    )
+    records = []
+    for length in lengths:
+        config = PowerChopConfig(signature_length=length)
+        managed = run_simulation(
+            design,
+            profile,
+            GatingMode.POWERCHOP,
+            max_instructions=max_instructions,
+            powerchop_config=config,
+        )
+        record = _compare_record(f"signature_length={length}", full, managed)
+        record["new_phases"] = managed.new_phases
+        records.append(record)
+    return records
+
+
+def sweep_timeout_periods(
+    design: DesignPoint,
+    profile: BenchmarkProfile,
+    timeout_cycles: Iterable[float],
+    max_instructions: int = 400_000,
+) -> List[Dict[str, float]]:
+    """The §V-E timeout-period sweep (100 .. 100 K cycles)."""
+    full = run_simulation(
+        design, profile, GatingMode.FULL, max_instructions=max_instructions
+    )
+    records = []
+    for timeout in timeout_cycles:
+        managed = run_simulation(
+            design,
+            profile,
+            GatingMode.TIMEOUT,
+            max_instructions=max_instructions,
+            timeout_cycles=timeout,
+        )
+        records.append(_compare_record(f"timeout={timeout:g}", full, managed))
+    return records

@@ -1,0 +1,30 @@
+"""Microarchitectural substrate: branch prediction, caches, VPU, timing.
+
+This is the gem5-equivalent layer of the reproduction (DESIGN.md §1):
+functional models of the three PowerChop-managed units plus a
+cycle-approximate core timing model.  State-losing behaviour on power
+gating (BPU history flush, MLC way flush with dirty writeback, VPU register
+save/restore) is modelled mechanically so rewarm costs emerge naturally.
+"""
+
+from repro.uarch.config import (
+    MOBILE,
+    SERVER,
+    BPUParams,
+    DesignPoint,
+    design_by_name,
+)
+from repro.uarch.core import CoreModel, PerfCounters, UnitStates
+from repro.uarch.vpu import VectorUnit
+
+__all__ = [
+    "BPUParams",
+    "DesignPoint",
+    "SERVER",
+    "MOBILE",
+    "design_by_name",
+    "CoreModel",
+    "PerfCounters",
+    "UnitStates",
+    "VectorUnit",
+]

@@ -1,0 +1,31 @@
+"""Branch prediction unit models.
+
+The paper's two BPU configurations (Table I) are:
+
+- **large** — a local/global tournament predictor with a chooser and a big
+  BTB (4 K entries server / 2 K mobile);
+- **small** — the always-on fallback used when the large BPU is power
+  gated: a local-only predictor with a 1 K (server) / 512-entry (mobile)
+  BTB.
+
+All predictor state is explicit, so power gating genuinely loses global,
+chooser and BTB state and the rewarm penalty emerges from mispredictions.
+"""
+
+from repro.uarch.branch.predictors import (
+    BimodalPredictor,
+    GSharePredictor,
+    LocalPredictor,
+    TournamentPredictor,
+)
+from repro.uarch.branch.btb import BranchTargetBuffer
+from repro.uarch.branch.unit import BranchUnit
+
+__all__ = [
+    "BimodalPredictor",
+    "LocalPredictor",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+    "BranchUnit",
+]

@@ -1,0 +1,48 @@
+"""Branch target buffer model."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class BranchTargetBuffer:
+    """Fully-tagged BTB with LRU replacement.
+
+    Modelled as a capacity-bounded LRU map from branch PC to target.  A
+    taken branch whose PC misses costs a fetch redirect (cheaper than a full
+    mispredict); the penalty itself is charged by the timing model.
+    """
+
+    def __init__(self, n_entries: int = 4096) -> None:
+        if n_entries <= 0:
+            raise ValueError("BTB needs at least one entry")
+        self.n_entries = n_entries
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: bits: tag (~32b PC) + target (32b) per entry
+        self.storage_bits = 64 * n_entries
+
+    def lookup(self, pc: int) -> bool:
+        """Probe the BTB; returns True on hit and refreshes recency."""
+        if pc in self._entries:
+            self._entries.move_to_end(pc)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, pc: int, target: int = 0) -> None:
+        if pc in self._entries:
+            self._entries.move_to_end(pc)
+            self._entries[pc] = target
+            return
+        if len(self._entries) >= self.n_entries:
+            self._entries.popitem(last=False)
+        self._entries[pc] = target
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

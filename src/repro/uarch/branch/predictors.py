@@ -1,0 +1,187 @@
+"""Direction predictors: bimodal, two-level local, gshare, tournament."""
+
+from __future__ import annotations
+
+
+def _saturate_up(counter: int, maximum: int = 3) -> int:
+    return counter + 1 if counter < maximum else counter
+
+
+def _saturate_down(counter: int, minimum: int = 0) -> int:
+    return counter - 1 if counter > minimum else counter
+
+
+class DirectionPredictor:
+    """Interface shared by all direction predictors."""
+
+    #: Bits of storage the predictor occupies (for the power/area model).
+    storage_bits: int = 0
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Lose all state (what happens when the structure is power gated)."""
+        raise NotImplementedError
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic table of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, n_counters: int = 1024) -> None:
+        if n_counters <= 0 or n_counters & (n_counters - 1):
+            raise ValueError("n_counters must be a positive power of two")
+        self._mask = n_counters - 1
+        self._table = [2] * n_counters  # weakly taken
+        self.storage_bits = 2 * n_counters
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        self._table[idx] = _saturate_up(ctr) if taken else _saturate_down(ctr)
+
+    def flush(self) -> None:
+        for i in range(len(self._table)):
+            self._table[i] = 2
+
+
+class LocalPredictor(DirectionPredictor):
+    """Two-level local predictor (per-branch history -> pattern table).
+
+    This is the paper's "small" predictor and also the local component of
+    the large tournament predictor (at a bigger size).
+    """
+
+    def __init__(self, n_history: int = 1024, history_bits: int = 10,
+                 n_counters: int = 1024) -> None:
+        for value, label in ((n_history, "n_history"), (n_counters, "n_counters")):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{label} must be a positive power of two")
+        if not 1 <= history_bits <= 16:
+            raise ValueError("history_bits must be in [1, 16]")
+        self._hist_mask = n_history - 1
+        self._pat_mask = n_counters - 1
+        self._history_bits_mask = (1 << history_bits) - 1
+        self.history_bits = history_bits
+        self._histories = [0] * n_history
+        self._counters = [2] * n_counters
+        self.storage_bits = history_bits * n_history + 2 * n_counters
+
+    def _hist_index(self, pc: int) -> int:
+        return (pc >> 2) & self._hist_mask
+
+    def predict(self, pc: int) -> bool:
+        history = self._histories[self._hist_index(pc)]
+        return self._counters[history & self._pat_mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        hidx = self._hist_index(pc)
+        history = self._histories[hidx]
+        cidx = history & self._pat_mask
+        ctr = self._counters[cidx]
+        self._counters[cidx] = _saturate_up(ctr) if taken else _saturate_down(ctr)
+        self._histories[hidx] = ((history << 1) | int(taken)) & self._history_bits_mask
+
+    def flush(self) -> None:
+        for i in range(len(self._histories)):
+            self._histories[i] = 0
+        for i in range(len(self._counters)):
+            self._counters[i] = 2
+
+
+class GSharePredictor(DirectionPredictor):
+    """Global predictor: PC xor global-history indexed counter table."""
+
+    def __init__(self, history_bits: int = 12, n_counters: int = 4096) -> None:
+        if n_counters <= 0 or n_counters & (n_counters - 1):
+            raise ValueError("n_counters must be a positive power of two")
+        if not 1 <= history_bits <= 24:
+            raise ValueError("history_bits must be in [1, 24]")
+        self._mask = n_counters - 1
+        self._ghr_mask = (1 << history_bits) - 1
+        self.history_bits = history_bits
+        self.ghr = 0
+        self._counters = [2] * n_counters
+        self.storage_bits = 2 * n_counters + history_bits
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.ghr) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        ctr = self._counters[idx]
+        self._counters[idx] = _saturate_up(ctr) if taken else _saturate_down(ctr)
+        self.ghr = ((self.ghr << 1) | int(taken)) & self._ghr_mask
+
+    def flush(self) -> None:
+        self.ghr = 0
+        for i in range(len(self._counters)):
+            self._counters[i] = 2
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Alpha-21264-style tournament of a local and a global predictor.
+
+    A chooser table of 2-bit counters (indexed by global history) selects
+    which component's prediction is used; the chooser trains whenever the
+    components disagree.
+    """
+
+    def __init__(
+        self,
+        local: LocalPredictor,
+        global_pred: GSharePredictor,
+        n_chooser: int = 4096,
+    ) -> None:
+        if n_chooser <= 0 or n_chooser & (n_chooser - 1):
+            raise ValueError("n_chooser must be a positive power of two")
+        self.local = local
+        self.global_pred = global_pred
+        self._chooser = [2] * n_chooser  # >=2 favours global
+        self._chooser_mask = n_chooser - 1
+        self.storage_bits = (
+            local.storage_bits + global_pred.storage_bits + 2 * n_chooser
+        )
+
+    def _chooser_index(self, pc: int) -> int:
+        # PC-indexed chooser: selection is a property of the branch (is it
+        # globally correlated or locally patterned?), so per-branch choice
+        # separates the two populations inside a mixed code region.
+        return (pc >> 2) & self._chooser_mask
+
+    def predict(self, pc: int) -> bool:
+        use_global = self._chooser[self._chooser_index(pc)] >= 2
+        if use_global:
+            return self.global_pred.predict(pc)
+        return self.local.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        local_pred = self.local.predict(pc)
+        global_pred = self.global_pred.predict(pc)
+        if local_pred != global_pred:
+            cidx = self._chooser_index(pc)
+            ctr = self._chooser[cidx]
+            if global_pred == taken:
+                self._chooser[cidx] = _saturate_up(ctr)
+            else:
+                self._chooser[cidx] = _saturate_down(ctr)
+        self.local.update(pc, taken)
+        self.global_pred.update(pc, taken)
+
+    def flush(self) -> None:
+        self.local.flush()
+        self.global_pred.flush()
+        for i in range(len(self._chooser)):
+            self._chooser[i] = 2

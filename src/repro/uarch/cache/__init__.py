@@ -1,0 +1,6 @@
+"""Cache hierarchy models with way-level power gating for the MLC."""
+
+from repro.uarch.cache.cache import SetAssocCache
+from repro.uarch.cache.hierarchy import CacheHierarchy, MemoryLevel
+
+__all__ = ["SetAssocCache", "CacheHierarchy", "MemoryLevel"]

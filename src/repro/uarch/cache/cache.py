@@ -1,0 +1,126 @@
+"""Set-associative write-back cache with way-level power gating."""
+
+from __future__ import annotations
+
+
+class SetAssocCache:
+    """Write-back, write-allocate set-associative cache with true LRU.
+
+    Each set is a recency-ordered list of ``[tag, dirty]`` entries (index 0
+    is MRU).  ``active_ways`` implements the MLC's way gating: lookups only
+    probe, and fills only allocate into, the first ``active_ways`` ways.
+    Shrinking the active ways *flushes* the gated ways — dirty lines are
+    counted for writeback cost and clean lines are simply lost — which is
+    exactly the state-loss behaviour Table I prescribes ("WB dirty lines,
+    lose clean lines, rewarm").
+    """
+
+    def __init__(
+        self,
+        size_kb: float,
+        assoc: int,
+        line_size: int = 64,
+        name: str = "cache",
+    ) -> None:
+        size_bytes = int(size_kb * 1024)
+        if assoc <= 0:
+            raise ValueError("associativity must be positive")
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError("line size must be a positive power of two")
+        n_lines = size_bytes // line_size
+        if n_lines < assoc or n_lines % assoc:
+            raise ValueError(
+                f"{name}: size {size_kb}KB not divisible into {assoc}-way sets"
+            )
+        self.name = name
+        self.size_kb = size_kb
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = n_lines // assoc
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"{name}: set count {self.n_sets} not a power of two")
+        self._set_mask = self.n_sets - 1
+        self._line_shift = line_size.bit_length() - 1
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.active_ways = assoc
+
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.flushed_dirty = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def active_size_kb(self) -> float:
+        return self.size_kb * self.active_ways / self.assoc
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Look up ``addr``; on miss, allocate (possibly evicting a victim).
+
+        Returns True on hit.  Dirty-victim writebacks are tallied in
+        ``self.writebacks`` (the energy/latency accounting reads the
+        counter rather than a per-access result, keeping this hot path
+        allocation-free).
+        """
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
+
+        for i, entry in enumerate(cache_set):
+            if entry[0] == line:
+                self.hits += 1
+                if i:
+                    cache_set.insert(0, cache_set.pop(i))
+                if is_write:
+                    cache_set[0][1] = True
+                return True
+
+        self.misses += 1
+        cache_set.insert(0, [line, is_write])
+        while len(cache_set) > self.active_ways:
+            victim = cache_set.pop()
+            if victim[1]:
+                self.writebacks += 1
+        return False
+
+    def set_active_ways(self, n_ways: int) -> int:
+        """Reconfigure way gating; returns dirty lines flushed (for WB cost).
+
+        Growing the active ways costs nothing here (new ways come up cold);
+        shrinking flushes the lines held in the gated ways.
+        """
+        if not 1 <= n_ways <= self.assoc:
+            raise ValueError(f"active ways must be in [1, {self.assoc}]")
+        dirty = 0
+        if n_ways < self.active_ways:
+            for cache_set in self._sets:
+                while len(cache_set) > n_ways:
+                    victim = cache_set.pop()
+                    if victim[1]:
+                        dirty += 1
+            self.flushed_dirty += dirty
+            self.writebacks += dirty
+        self.active_ways = n_ways
+        return dirty
+
+    def flush(self) -> int:
+        """Invalidate everything; returns number of dirty lines written back."""
+        dirty = 0
+        for cache_set in self._sets:
+            for entry in cache_set:
+                if entry[1]:
+                    dirty += 1
+            cache_set.clear()
+        self.writebacks += dirty
+        return dirty
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SetAssocCache({self.name}, {self.size_kb}KB, {self.assoc}-way, "
+            f"active={self.active_ways})"
+        )

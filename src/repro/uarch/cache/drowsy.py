@@ -1,0 +1,135 @@
+"""Drowsy-cache baseline (Flautner et al., paper §VI related work).
+
+An alternative MLC leakage-reduction technique PowerChop is positioned
+against: instead of power gating ways (losing state), every line is
+periodically dropped into a *drowsy* low-voltage mode that retains state at
+a fraction of nominal leakage; touching a drowsy line first pays a short
+wake-up penalty.  Leakage savings are bounded by the drowsy retention
+voltage and, unlike PowerChop, dynamic (per-access) power is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.cache.cache import SetAssocCache
+
+#: Leakage of a drowsy line relative to full voltage (literature: ~6-25%;
+#: we use the conservative end of Flautner et al.'s reported range).
+DROWSY_LEAKAGE_FRAC = 0.25
+#: Cycles to restore a drowsy line to full voltage before access.
+WAKE_CYCLES = 1
+
+
+class DrowsySetAssocCache(SetAssocCache):
+    """Set-associative cache whose lines can be put into drowsy mode.
+
+    Entries are ``[line, dirty, drowsy]``.  ``drowse_all()`` (called
+    periodically by :class:`DrowsyMLCController`) puts every resident line
+    to sleep; an access to a drowsy line wakes it, counting toward
+    ``wakes`` so the timing model can charge the wake penalty.  The
+    ``drowsy_line_cycles`` integral feeds the leakage model.
+    """
+
+    def __init__(self, size_kb, assoc, line_size=64, name="drowsy"):
+        super().__init__(size_kb, assoc, line_size, name)
+        self.wakes = 0
+        self.drowsy_count = 0
+        self.drowsy_line_cycles = 0.0
+        #: Invalid (never-filled / evicted) lines hold no state and sit at
+        #: the drowsy retention voltage permanently, so they count toward
+        #: the drowsy integral too.
+        self.resident_line_cycles = 0.0
+        self._resident_count = 0
+        self._last_event_cycle = 0.0
+
+    def _advance(self, now_cycles: float) -> None:
+        if now_cycles > self._last_event_cycle:
+            delta = now_cycles - self._last_event_cycle
+            self.drowsy_line_cycles += self.drowsy_count * delta
+            self.resident_line_cycles += self._resident_count * delta
+            self._last_event_cycle = now_cycles
+
+    def access_timed(self, addr: int, now_cycles: float, is_write: bool = False) -> bool:
+        """Like :meth:`access`, but wakes drowsy lines and tracks time."""
+        self._advance(now_cycles)
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
+        for i, entry in enumerate(cache_set):
+            if entry[0] == line:
+                self.hits += 1
+                if len(entry) > 2 and entry[2]:
+                    entry[2] = False
+                    self.wakes += 1
+                    self.drowsy_count -= 1
+                if i:
+                    cache_set.insert(0, cache_set.pop(i))
+                if is_write:
+                    cache_set[0][1] = True
+                return True
+        self.misses += 1
+        cache_set.insert(0, [line, is_write, False])
+        self._resident_count += 1
+        while len(cache_set) > self.active_ways:
+            victim = cache_set.pop()
+            self._resident_count -= 1
+            if len(victim) > 2 and victim[2]:
+                self.drowsy_count -= 1
+            if victim[1]:
+                self.writebacks += 1
+        return False
+
+    def drowse_all(self, now_cycles: float) -> int:
+        """Put every awake resident line into drowsy mode; returns count."""
+        self._advance(now_cycles)
+        drowsed = 0
+        for cache_set in self._sets:
+            for entry in cache_set:
+                if len(entry) == 2:
+                    entry.append(True)
+                    drowsed += 1
+                elif not entry[2]:
+                    entry[2] = True
+                    drowsed += 1
+        self.drowsy_count += drowsed
+        return drowsed
+
+    def drowsy_fraction(self, total_cycles: float) -> float:
+        """Mean fraction of the cache's lines held at drowsy voltage.
+
+        Resident lines count while explicitly drowsed; non-resident lines
+        (holding no state) count always.
+        """
+        self._advance(total_cycles)
+        capacity = self.n_sets * self.assoc
+        if total_cycles <= 0 or capacity == 0:
+            return 0.0
+        line_cycles = total_cycles * capacity
+        empty_cycles = line_cycles - self.resident_line_cycles
+        return min(1.0, (self.drowsy_line_cycles + empty_cycles) / line_cycles)
+
+
+class DrowsyMLCController:
+    """Periodic drowse-all policy (the simple policy Flautner et al. show
+    performs within a hair of the ideal)."""
+
+    def __init__(self, cache: DrowsySetAssocCache, interval_cycles: float = 4000.0):
+        if interval_cycles <= 0:
+            raise ValueError("drowse interval must be positive")
+        self.cache = cache
+        self.interval_cycles = interval_cycles
+        self._next_drowse = interval_cycles
+        self.drowse_events = 0
+
+    def tick(self, now_cycles: float) -> None:
+        """Call periodically with the current cycle count."""
+        if now_cycles >= self._next_drowse:
+            self.cache.drowse_all(now_cycles)
+            self.drowse_events += 1
+            self._next_drowse = now_cycles + self.interval_cycles
+
+    def mlc_leakage_factor(self, total_cycles: float) -> float:
+        """Effective MLC leakage multiplier vs an always-awake cache."""
+        drowsy = self.cache.drowsy_fraction(total_cycles)
+        return (1.0 - drowsy) + drowsy * DROWSY_LEAKAGE_FRAC
+
+    def wake_stall_cycles(self) -> float:
+        return self.cache.wakes * WAKE_CYCLES

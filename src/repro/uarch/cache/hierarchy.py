@@ -1,0 +1,90 @@
+"""Multi-level cache hierarchy with a gateable middle-level cache."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.uarch.cache.cache import SetAssocCache
+from repro.uarch.cache.prefetch import StreamPrefetcher
+
+
+class MemoryLevel(IntEnum):
+    """Where an access was satisfied."""
+
+    L1 = 0
+    MLC = 1
+    LLC = 2
+    MEMORY = 3
+
+
+class CacheHierarchy:
+    """L1 → MLC → (optional LLC) → memory.
+
+    The MLC is the PowerChop-managed level: its ``active_ways`` can be
+    reconfigured at runtime.  Per Table I the MLC continues to service
+    requests in every gating state (ways are gated, never the whole cache).
+
+    Latencies are *additional* cycles beyond the pipelined L1 hit.
+    """
+
+    def __init__(
+        self,
+        l1: SetAssocCache,
+        mlc: SetAssocCache,
+        llc: Optional[SetAssocCache],
+        mlc_latency: int,
+        llc_latency: int,
+        memory_latency: int,
+        prefetch_streams: int = 8,
+        prefetch_window: int = 4,
+    ) -> None:
+        self.l1 = l1
+        self.mlc = mlc
+        self.llc = llc
+        self.mlc_latency = mlc_latency
+        self.llc_latency = llc_latency
+        self.memory_latency = memory_latency
+        self.level_counts = [0, 0, 0, 0]
+        self.prefetcher = (
+            StreamPrefetcher(prefetch_streams, prefetch_window)
+            if prefetch_streams
+            else None
+        )
+        #: Stall charged when the prefetcher covered a below-MLC access:
+        #: the line was staged ahead of demand, leaving roughly an MLC hit's
+        #: worth of exposure.
+        self.prefetched_latency = mlc_latency
+        self.prefetch_covered = 0
+        self._line_shift = l1.line_size.bit_length() - 1
+
+    def access(self, addr: int, is_write: bool = False) -> Tuple[int, MemoryLevel]:
+        """Walk the hierarchy; returns (stall cycles, satisfying level)."""
+        if self.l1.access(addr, is_write):
+            self.level_counts[MemoryLevel.L1] += 1
+            return 0, MemoryLevel.L1
+        prefetched = False
+        if self.prefetcher is not None:
+            prefetched = self.prefetcher.access(addr >> self._line_shift)
+        if self.mlc.access(addr, is_write):
+            self.level_counts[MemoryLevel.MLC] += 1
+            return self.mlc_latency, MemoryLevel.MLC
+        if self.llc is not None and self.llc.access(addr, is_write):
+            self.level_counts[MemoryLevel.LLC] += 1
+            if prefetched:
+                self.prefetch_covered += 1
+                return self.prefetched_latency, MemoryLevel.LLC
+            return self.llc_latency, MemoryLevel.LLC
+        self.level_counts[MemoryLevel.MEMORY] += 1
+        if prefetched:
+            self.prefetch_covered += 1
+            return self.prefetched_latency, MemoryLevel.MEMORY
+        return self.memory_latency, MemoryLevel.MEMORY
+
+    def set_mlc_ways(self, n_ways: int) -> int:
+        """Way-gate the MLC; returns the number of dirty lines flushed."""
+        return self.mlc.set_active_ways(n_ways)
+
+    @property
+    def mlc_hits(self) -> int:
+        return self.mlc.hits

@@ -1,0 +1,221 @@
+"""Architectural design points (paper Table I).
+
+Two configurations are evaluated: a server-class core (Intel Nehalem-like)
+running SPEC CPU2006 and PARSEC, and a mobile-class core (ARM Cortex-A9-like)
+running MobileBench.  Unit area fractions, gated configurations, and gating
+state overheads are taken directly from Table I; timing and power scalars
+not printed in the paper are set to representative 32 nm values and recorded
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class BPUParams:
+    """Sizes for the small (always-on) and large (gateable) BPU sides."""
+
+    large_local_entries: int = 2048
+    large_local_hist_bits: int = 10
+    large_global_hist_bits: int = 8
+    large_global_counters: int = 8192
+    large_chooser_entries: int = 16384
+    large_btb_entries: int = 4096
+    small_local_entries: int = 512
+    small_local_hist_bits: int = 6
+    small_btb_entries: int = 1024
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """Everything the simulator needs to instantiate one processor design."""
+
+    name: str
+    kind: str  # "server" | "mobile"
+    frequency_ghz: float
+    issue_width: int
+    mispredict_penalty: int
+    btb_redirect_penalty: int
+    #: Fraction of memory stall latency exposed to execution (models MLP /
+    #: out-of-order latency hiding; lower = more aggressive OoO core).
+    memory_stall_factor: float
+
+    # Cache hierarchy
+    l1_kb: float = 32.0
+    l1_assoc: int = 8
+    mlc_kb: float = 1024.0
+    mlc_assoc: int = 8
+    mlc_latency: int = 12
+    llc_kb: float = 8192.0  # 0 disables the LLC
+    llc_assoc: int = 16
+    llc_latency: int = 38
+    memory_latency: int = 180
+    line_size: int = 64
+    prefetch_streams: int = 8  # 0 disables the stream prefetcher
+    prefetch_window: int = 4
+
+    # Units
+    bpu: BPUParams = field(default_factory=BPUParams)
+    vpu_width: int = 4
+    vpu_emulation_factor: int = 12
+
+    # Binary translation subsystem (Transmeta-style, §II-A)
+    interpreter_cpi: float = 12.0
+    translate_cycles_per_instr: float = 60.0
+    hot_threshold: int = 12
+    max_translation_blocks: int = 3
+
+    # Power-gating switch penalties (paper §IV-D and Table I)
+    mlc_switch_cycles: int = 50
+    vpu_switch_cycles: int = 30
+    bpu_switch_cycles: int = 20
+    vpu_save_restore_cycles: int = 500
+    writeback_cycles_per_line: int = 4
+
+    # Power/area (32 nm, McPAT-style budgets; fractions from Table I)
+    mlc_area_frac: float = 0.35
+    vpu_area_frac: float = 0.20
+    bpu_area_frac: float = 0.04
+    core_leakage_w: float = 2.5
+    core_peak_dynamic_w: float = 9.0
+    gated_leakage_frac: float = 0.05
+    sleep_transistor_ratio: float = 0.20  # W_H in Eq. 1 (worst case in [0.05, 0.20])
+    switching_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("server", "mobile"):
+            raise ValueError(f"unknown design kind {self.kind!r}")
+        if self.issue_width <= 0 or self.frequency_ghz <= 0:
+            raise ValueError("issue width and frequency must be positive")
+        if not 0.0 < self.memory_stall_factor <= 1.0:
+            raise ValueError("memory_stall_factor must be in (0, 1]")
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_ghz * 1e9
+
+    @property
+    def mlc_way_states(self) -> Tuple[int, int, int]:
+        """The three MLC gating states: 1 way, half the ways, all ways."""
+        return (1, max(1, self.mlc_assoc // 2), self.mlc_assoc)
+
+    @property
+    def mlc_way_states_extended(self) -> Tuple[int, int, int, int]:
+        """Four-state MLC gating (paper §IV-B3: 'the number of states...can
+        be increased'): adds a quarter-ways state using the PVT's reserved
+        M=0b10 encoding."""
+        return (
+            1,
+            max(1, self.mlc_assoc // 4),
+            max(1, self.mlc_assoc // 2),
+            self.mlc_assoc,
+        )
+
+    @property
+    def has_llc(self) -> bool:
+        return self.llc_kb > 0
+
+
+#: Server design point — Intel Nehalem-class core (Table I, left column).
+#: MLC: 1024 KB 8-way (35 % of core area); gated: 512 KB 4-way or 128 KB
+#: 1-way.  VPU: 4-wide SIMD (20 %).  BPU: local/global tournament with
+#: 4 K-entry BTB and 16 K-entry chooser (4 %); small side local-only with
+#: 1 K-entry BTB.
+SERVER = DesignPoint(
+    name="server-nehalem",
+    kind="server",
+    frequency_ghz=2.66,
+    issue_width=4,
+    mispredict_penalty=17,
+    btb_redirect_penalty=7,
+    memory_stall_factor=0.45,
+    l1_kb=32.0,
+    l1_assoc=8,
+    mlc_kb=1024.0,
+    mlc_assoc=8,
+    mlc_latency=12,
+    llc_kb=8192.0,
+    llc_assoc=16,
+    llc_latency=38,
+    memory_latency=180,
+    bpu=BPUParams(
+        large_local_entries=2048,
+        large_local_hist_bits=10,
+        large_global_hist_bits=9,
+        large_global_counters=8192,
+        large_chooser_entries=16384,
+        large_btb_entries=4096,
+        small_local_entries=512,
+        small_local_hist_bits=6,
+        small_btb_entries=1024,
+    ),
+    vpu_width=4,
+    vpu_emulation_factor=12,
+    interpreter_cpi=12.0,
+    mlc_area_frac=0.35,
+    vpu_area_frac=0.20,
+    bpu_area_frac=0.04,
+    core_leakage_w=2.5,
+    core_peak_dynamic_w=9.0,
+)
+
+#: Mobile design point — ARM Cortex-A9-class core (Table I, right column).
+#: MLC: 2048 KB 8-way (60 % of core area); gated: 1024 KB 4-way or 256 KB
+#: 1-way.  VPU: 2-wide SIMD (18 %).  BPU: tournament with 2 K-entry BTB and
+#: 8 K-entry chooser (3 %); small side local-only with 512-entry BTB.
+MOBILE = DesignPoint(
+    name="mobile-cortex-a9",
+    kind="mobile",
+    frequency_ghz=1.0,
+    issue_width=2,
+    mispredict_penalty=11,
+    btb_redirect_penalty=5,
+    memory_stall_factor=0.80,
+    l1_kb=32.0,
+    l1_assoc=4,
+    mlc_kb=2048.0,
+    mlc_assoc=8,
+    mlc_latency=10,
+    llc_kb=0.0,
+    llc_latency=0,
+    memory_latency=130,
+    bpu=BPUParams(
+        large_local_entries=1024,
+        large_local_hist_bits=9,
+        large_global_hist_bits=8,
+        large_global_counters=4096,
+        large_chooser_entries=8192,
+        large_btb_entries=2048,
+        small_local_entries=256,
+        small_local_hist_bits=6,
+        small_btb_entries=512,
+    ),
+    vpu_width=2,
+    vpu_emulation_factor=10,
+    interpreter_cpi=10.0,
+    mlc_area_frac=0.60,
+    vpu_area_frac=0.18,
+    bpu_area_frac=0.03,
+    core_leakage_w=0.30,
+    core_peak_dynamic_w=0.80,
+)
+
+_DESIGNS = {d.name: d for d in (SERVER, MOBILE)}
+_DESIGNS["server"] = SERVER
+_DESIGNS["mobile"] = MOBILE
+
+
+def design_by_name(name: str) -> DesignPoint:
+    """Look up a design point (``"server"``, ``"mobile"``, or full name)."""
+    try:
+        return _DESIGNS[name]
+    except KeyError:
+        raise KeyError(f"unknown design {name!r}; known: {sorted(_DESIGNS)}") from None
+
+
+def design_for_suite(suite: str) -> DesignPoint:
+    """The paper pairs MobileBench with the mobile core, all else server."""
+    return MOBILE if suite == "MobileBench" else SERVER

@@ -1,0 +1,170 @@
+"""The core timing model: units + cycle accounting per basic block."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.blocks import BlockExec
+from repro.uarch.branch.unit import BranchUnit
+from repro.uarch.cache.cache import SetAssocCache
+from repro.uarch.cache.hierarchy import CacheHierarchy
+from repro.uarch.config import DesignPoint
+from repro.uarch.vpu import VectorUnit
+
+
+@dataclass
+class PerfCounters:
+    """Hardware performance counters the CDE profiles phases with (§IV-C)."""
+
+    instructions: int = 0
+    micro_ops: int = 0
+    simd_instructions: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    btb_redirects: int = 0
+    memory_ops: int = 0
+
+    def snapshot(self) -> "PerfCounters":
+        return PerfCounters(
+            self.instructions,
+            self.micro_ops,
+            self.simd_instructions,
+            self.branches,
+            self.mispredicts,
+            self.btb_redirects,
+            self.memory_ops,
+        )
+
+
+@dataclass
+class UnitStates:
+    """Current power-gating state of the three managed units."""
+
+    vpu_on: bool = True
+    bpu_large_on: bool = True
+    mlc_ways: int = 8
+
+    def as_policy_tuple(self) -> tuple:
+        return (self.vpu_on, self.bpu_large_on, self.mlc_ways)
+
+
+class CoreModel:
+    """Cycle-approximate core: executes block traces, owns the three units.
+
+    The timing model charges, per dynamic basic block:
+
+    - issue cycles: micro-ops / issue width (interpreted guest code instead
+      pays ``interpreter_cpi`` per instruction — the BT's slow path);
+    - branch resolution through the *active* predictor configuration, with
+      full mispredict / BTB-redirect penalties;
+    - exposed memory stalls from a functional walk of the cache hierarchy,
+      scaled by ``memory_stall_factor`` to approximate latency overlap;
+    - vector work natively on the VPU or as scalar emulation micro-ops when
+      the VPU is gated off.
+    """
+
+    def __init__(self, design: DesignPoint) -> None:
+        self.design = design
+        bpu_params = design.bpu
+        self.bpu = BranchUnit(
+            large_local_entries=bpu_params.large_local_entries,
+            large_local_hist_bits=bpu_params.large_local_hist_bits,
+            large_global_hist_bits=bpu_params.large_global_hist_bits,
+            large_global_counters=bpu_params.large_global_counters,
+            large_chooser_entries=bpu_params.large_chooser_entries,
+            large_btb_entries=bpu_params.large_btb_entries,
+            small_local_entries=bpu_params.small_local_entries,
+            small_local_hist_bits=bpu_params.small_local_hist_bits,
+            small_btb_entries=bpu_params.small_btb_entries,
+        )
+        l1 = SetAssocCache(design.l1_kb, design.l1_assoc, design.line_size, "L1D")
+        mlc = SetAssocCache(design.mlc_kb, design.mlc_assoc, design.line_size, "MLC")
+        llc: Optional[SetAssocCache] = None
+        if design.has_llc:
+            llc = SetAssocCache(design.llc_kb, design.llc_assoc, design.line_size, "LLC")
+        self.hierarchy = CacheHierarchy(
+            l1,
+            mlc,
+            llc,
+            design.mlc_latency,
+            design.llc_latency,
+            design.memory_latency,
+            prefetch_streams=design.prefetch_streams,
+            prefetch_window=design.prefetch_window,
+        )
+        self.vpu = VectorUnit(design.vpu_width, design.vpu_emulation_factor)
+        self.counters = PerfCounters(micro_ops=0)
+        self.states = UnitStates(mlc_ways=design.mlc_assoc)
+
+        self._issue_cpi = 1.0 / design.issue_width
+        self._stall_factor = design.memory_stall_factor
+
+    # ----------------------------------------------------------------- run
+
+    def execute_block(self, block_exec: BlockExec, interpreting: bool) -> float:
+        """Execute one dynamic block; returns cycles consumed."""
+        block = block_exec.block
+        counters = self.counters
+        design = self.design
+
+        n_vec = block.n_vec
+        extra_ops = self.vpu.execute(n_vec) if n_vec else 0
+        n_instr = block.n_instr
+        micro_ops = n_instr + extra_ops
+
+        if interpreting:
+            cycles = n_instr * design.interpreter_cpi + extra_ops * self._issue_cpi
+        else:
+            cycles = micro_ops * self._issue_cpi
+
+        addresses = block_exec.addresses
+        if addresses:
+            hierarchy_access = self.hierarchy.access
+            loads = block.n_loads
+            stall_factor = self._stall_factor
+            for i, addr in enumerate(addresses):
+                stall, _level = hierarchy_access(addr, i >= loads)
+                if stall:
+                    cycles += stall * stall_factor
+            counters.memory_ops += len(addresses)
+
+        branch = block.branch
+        if branch is not None:
+            mispredicted, redirect = self.bpu.predict_and_update(
+                branch.pc, block_exec.taken
+            )
+            counters.branches += 1
+            if mispredicted:
+                counters.mispredicts += 1
+                cycles += design.mispredict_penalty
+            elif redirect:
+                counters.btb_redirects += 1
+                cycles += design.btb_redirect_penalty
+
+        counters.instructions += n_instr
+        counters.micro_ops += micro_ops
+        counters.simd_instructions += n_vec
+        return cycles
+
+    # ------------------------------------------------------------- gating
+
+    def apply_vpu_state(self, powered_on: bool) -> None:
+        if powered_on:
+            self.vpu.gate_on()
+        else:
+            self.vpu.gate_off()
+        self.states.vpu_on = powered_on
+
+    def apply_bpu_state(self, large_on: bool) -> None:
+        if large_on:
+            self.bpu.gate_on()
+        else:
+            self.bpu.gate_off()
+        self.states.bpu_large_on = large_on
+
+    def apply_mlc_state(self, n_ways: int) -> int:
+        """Way-gate the MLC; returns dirty lines flushed (writeback cost)."""
+        dirty = self.hierarchy.set_mlc_ways(n_ways)
+        self.states.mlc_ways = n_ways
+        return dirty

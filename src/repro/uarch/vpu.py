@@ -1,0 +1,49 @@
+"""Vector processing unit model."""
+
+from __future__ import annotations
+
+
+class VectorUnit:
+    """SIMD unit with power gating and architected register state.
+
+    When gated on, vector instructions execute natively (one per issue
+    slot).  When gated off, the binary translator's alternate scalar code
+    paths execute instead: each vector instruction expands into
+    ``emulation_factor`` scalar operations (paper §IV-C2).  The VPU's
+    register file is architecturally visible, so every gating transition
+    pays an explicit save/restore penalty (500 cycles, paper §IV-D) charged
+    by the gating policy layer.
+    """
+
+    def __init__(self, width: int, emulation_factor: int) -> None:
+        if width <= 0:
+            raise ValueError("VPU width must be positive")
+        if emulation_factor < 1:
+            raise ValueError("emulation factor must be >= 1")
+        self.width = width
+        self.emulation_factor = emulation_factor
+        self.gated_on = True
+
+        self.native_ops = 0
+        self.emulated_ops = 0
+
+    def execute(self, n_vector_instrs: int) -> int:
+        """Account ``n_vector_instrs``; returns *extra* micro-ops emitted.
+
+        Natively each vector instruction is a single operation (0 extra).
+        Under emulation each becomes ``emulation_factor`` scalar ops, i.e.
+        ``emulation_factor - 1`` extra ops that occupy scalar issue slots.
+        """
+        if n_vector_instrs < 0:
+            raise ValueError("vector instruction count must be non-negative")
+        if self.gated_on:
+            self.native_ops += n_vector_instrs
+            return 0
+        self.emulated_ops += n_vector_instrs
+        return n_vector_instrs * (self.emulation_factor - 1)
+
+    def gate_off(self) -> None:
+        self.gated_on = False
+
+    def gate_on(self) -> None:
+        self.gated_on = True

@@ -1,0 +1,56 @@
+"""Synthetic workload substrate.
+
+The paper evaluates PowerChop on SPEC CPU2006, PARSEC and MobileBench
+(R-GWB).  Those binaries (and the gem5 checkpoints driving them) are not
+available here, so this package provides the closest synthetic equivalent:
+29 deterministic benchmark profiles whose *phase structure* — recurring code
+regions with distinct vector intensity, branch behaviour and working-set
+size — matches the behaviours the paper reports per benchmark.  See
+DESIGN.md §1 for the substitution argument.
+"""
+
+from repro.workloads.generator import (
+    AddressStream,
+    MemoryBehavior,
+    PhaseSpec,
+    RegionBuilder,
+    SyntheticWorkload,
+)
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    PhaseDecl,
+    RegionSpec,
+    build_workload,
+)
+from repro.workloads.suites import (
+    ALL_BENCHMARKS,
+    MOBILEBENCH,
+    PARSEC,
+    SPEC_FP,
+    SPEC_INT,
+    SUITES,
+    get_profile,
+    mobile_benchmarks,
+    server_benchmarks,
+)
+
+__all__ = [
+    "AddressStream",
+    "MemoryBehavior",
+    "PhaseSpec",
+    "RegionBuilder",
+    "SyntheticWorkload",
+    "BenchmarkProfile",
+    "PhaseDecl",
+    "RegionSpec",
+    "build_workload",
+    "ALL_BENCHMARKS",
+    "SPEC_INT",
+    "SPEC_FP",
+    "PARSEC",
+    "MOBILEBENCH",
+    "SUITES",
+    "get_profile",
+    "server_benchmarks",
+    "mobile_benchmarks",
+]

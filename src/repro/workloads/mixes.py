@@ -1,0 +1,37 @@
+"""Shared branch-behaviour mixes used by the benchmark profile definitions.
+
+Each mix characterises how predictable a region's control flow is, and —
+crucially for PowerChop — *which predictor class* the predictability is
+visible to:
+
+- ``PREDICTABLE`` — strongly biased branches and regular loops; a small
+  local predictor does nearly as well as the tournament (large BPU
+  non-critical).
+- ``LOCAL_HEAVY`` — loop/pattern behaviour a two-level local predictor
+  captures; again little benefit from the tournament.
+- ``GLOBAL_HEAVY`` — globally-correlated branches only the tournament's
+  global side can learn (large BPU critical).
+- ``IRREGULAR`` — a blend with some global correlation and some noise.
+- ``NOISY`` — data-dependent, effectively random branches; *no* predictor
+  helps, so the large BPU is again non-critical.
+"""
+
+from types import MappingProxyType
+
+PREDICTABLE = MappingProxyType({"biased": 0.80, "loop": 0.20})
+LOCAL_HEAVY = MappingProxyType({"biased": 0.40, "loop": 0.35, "pattern": 0.25})
+GLOBAL_HEAVY = MappingProxyType(
+    {"biased": 0.25, "loop": 0.15, "pattern": 0.10, "global": 0.50}
+)
+IRREGULAR = MappingProxyType(
+    {"biased": 0.30, "loop": 0.15, "pattern": 0.10, "global": 0.25, "random": 0.20}
+)
+NOISY = MappingProxyType({"biased": 0.25, "loop": 0.10, "random": 0.65})
+
+ALL_MIXES = {
+    "predictable": PREDICTABLE,
+    "local_heavy": LOCAL_HEAVY,
+    "global_heavy": GLOBAL_HEAVY,
+    "irregular": IRREGULAR,
+    "noisy": NOISY,
+}

@@ -1,0 +1,171 @@
+"""MobileBench R-GWB (Realistic General Web Browsing) profiles.
+
+The paper runs these inside the Android browser on a mobile core and finds
+the *largest* PowerChop wins there: VPU gated ~90 %+, BPU gated ~40 % of
+cycles on average, MLC gated in some fashion ~20 % of the time, with total
+core power reductions up to 40 % (``amazon``).  Browsing workloads are
+scalar (no/rare SIMD), alternate bursty layout/JS phases with idle-ish
+scrolling phases, and swing between small DOM-resident working sets and
+large streaming asset decodes — that is what these profiles encode.
+``msn`` reproduces Fig. 2's alternation between windows where the large
+tournament BPU matters and windows where it does not.
+"""
+
+from repro.workloads.generator import MemoryBehavior
+from repro.workloads.mixes import (
+    GLOBAL_HEAVY,
+    IRREGULAR,
+    LOCAL_HEAVY,
+    NOISY,
+    PREDICTABLE,
+)
+from repro.workloads.profiles import BenchmarkProfile, PhaseDecl, RegionSpec
+
+SUITE = "MobileBench"
+
+
+def _p(name, region, memory, blocks=384000):
+    return PhaseDecl(name=name, region=region, memory=memory, blocks=blocks)
+
+
+AMAZON = BenchmarkProfile(
+    name="amazon",
+    suite=SUITE,
+    description="Product-page browsing: long predictable scroll/paint phases "
+    "with small working sets — the showcase app (up to 40 % power saved).",
+    phases=(
+        _p(
+            "scroll",
+            RegionSpec(n_blocks=32, branch_mix=PREDICTABLE, bias=0.98),
+            MemoryBehavior(working_set_kb=24, pattern="loop"),
+            blocks=528000,
+        ),
+        _p(
+            "layout",
+            RegionSpec(n_blocks=48, branch_mix=LOCAL_HEAVY),
+            MemoryBehavior(working_set_kb=96, pattern="loop", random_frac=0.2),
+            blocks=240000,
+        ),
+        _p(
+            "image_decode",
+            RegionSpec(n_blocks=32, branch_mix=PREDICTABLE, mem_frac=0.38),
+            MemoryBehavior(working_set_kb=4096, pattern="stream"),
+            blocks=192000,
+        ),
+    ),
+    schedule=("scroll", "layout", "scroll", "image_decode"),
+    seed=401,
+)
+
+BBC = BenchmarkProfile(
+    name="bbc",
+    suite=SUITE,
+    description="News front page: text-layout heavy with pattern-local "
+    "branches, modest working sets, occasional streaming asset loads.",
+    phases=(
+        _p(
+            "text_layout",
+            RegionSpec(n_blocks=48, branch_mix=LOCAL_HEAVY),
+            MemoryBehavior(working_set_kb=160, pattern="loop", random_frac=0.15),
+            blocks=432000,
+        ),
+        _p(
+            "style_resolve",
+            RegionSpec(n_blocks=40, branch_mix=IRREGULAR),
+            MemoryBehavior(working_set_kb=700, pattern="random"),
+            blocks=240000,
+        ),
+        _p(
+            "asset_load",
+            RegionSpec(n_blocks=24, branch_mix=PREDICTABLE, mem_frac=0.40),
+            MemoryBehavior(working_set_kb=3072, pattern="stream"),
+            blocks=192000,
+        ),
+    ),
+    schedule=("text_layout", "style_resolve", "text_layout", "asset_load"),
+    seed=402,
+)
+
+CNN = BenchmarkProfile(
+    name="cnn",
+    suite=SUITE,
+    description="Media-heavy news site: JS-dispatch phases with global "
+    "branch correlation interleaved with predictable paint loops.",
+    phases=(
+        _p(
+            "js_dispatch",
+            RegionSpec(n_blocks=56, branch_mix=GLOBAL_HEAVY),
+            MemoryBehavior(working_set_kb=900, pattern="loop", random_frac=0.3),
+            blocks=288000,
+        ),
+        _p(
+            "paint",
+            RegionSpec(n_blocks=32, branch_mix=PREDICTABLE, bias=0.975),
+            MemoryBehavior(working_set_kb=20, pattern="loop"),
+            blocks=432000,
+        ),
+        _p(
+            "ad_iframe",
+            RegionSpec(n_blocks=40, branch_mix=NOISY),
+            MemoryBehavior(working_set_kb=128, pattern="random"),
+            blocks=192000,
+        ),
+    ),
+    schedule=("js_dispatch", "paint", "ad_iframe", "paint"),
+    seed=403,
+)
+
+GOOGLE = BenchmarkProfile(
+    name="google",
+    suite=SUITE,
+    description="Search and results: short bursts of irregular JS between "
+    "long highly-predictable render loops over a small footprint.",
+    phases=(
+        _p(
+            "render",
+            RegionSpec(n_blocks=32, branch_mix=PREDICTABLE, bias=0.985),
+            MemoryBehavior(working_set_kb=16, pattern="loop"),
+            blocks=576000,
+        ),
+        _p(
+            "query_js",
+            RegionSpec(n_blocks=48, branch_mix=IRREGULAR, vector_style="sparse"),
+            MemoryBehavior(working_set_kb=192, pattern="loop", random_frac=0.25),
+            blocks=192000,
+        ),
+    ),
+    schedule=("render", "query_js", "render"),
+    seed=404,
+)
+
+MSN = BenchmarkProfile(
+    name="msn",
+    suite=SUITE,
+    description="Portal page (Fig. 2): phases where the tournament BPU "
+    "clearly beats the small local predictor alternate with phases where "
+    "it provides no benefit at all.",
+    phases=(
+        _p(
+            "widget_js",
+            RegionSpec(n_blocks=56, branch_mix=GLOBAL_HEAVY),
+            MemoryBehavior(working_set_kb=600, pattern="loop", random_frac=0.25),
+            blocks=288000,
+        ),
+        _p(
+            "scroll",
+            RegionSpec(n_blocks=32, branch_mix=PREDICTABLE, bias=0.98),
+            MemoryBehavior(working_set_kb=24, pattern="loop"),
+            blocks=432000,
+        ),
+        _p(
+            "feed_parse",
+            RegionSpec(n_blocks=40, branch_mix=NOISY),
+            MemoryBehavior(working_set_kb=96, pattern="random"),
+            blocks=240000,
+        ),
+    ),
+    schedule=("widget_js", "scroll", "feed_parse", "scroll"),
+    seed=405,
+)
+
+PROFILES = (AMAZON, BBC, CNN, GOOGLE, MSN)

@@ -1,0 +1,206 @@
+"""PARSEC benchmark profiles (synthetic equivalents, single-thread regions).
+
+Shapes targeted: ``dedup`` gating the VPU > 90 % of cycles, ``streamcluster``
+spending > 40 % of cycles with a 1-way MLC, ``blackscholes`` as the densely
+vectorised small-footprint kernel, and ``canneal`` as the noisy-branch,
+huge-random-working-set outlier where neither a big BPU nor (much of) the
+MLC pays for itself.
+"""
+
+from repro.workloads.generator import MemoryBehavior
+from repro.workloads.mixes import (
+    IRREGULAR,
+    LOCAL_HEAVY,
+    NOISY,
+    PREDICTABLE,
+)
+from repro.workloads.profiles import BenchmarkProfile, PhaseDecl, RegionSpec
+
+SUITE = "PARSEC"
+
+
+def _p(name, region, memory, blocks=64000):
+    return PhaseDecl(name=name, region=region, memory=memory, blocks=blocks)
+
+
+BLACKSCHOLES = BenchmarkProfile(
+    name="blackscholes",
+    suite=SUITE,
+    description="Option pricing: dense SIMD arithmetic over a tiny working "
+    "set — VPU critical, MLC not.",
+    phases=(
+        _p(
+            "price",
+            RegionSpec(
+                n_blocks=24,
+                branch_mix=PREDICTABLE,
+                bias=0.99,
+                mem_frac=0.22,
+                vector_frac=0.30,
+                vector_style="dense",
+            ),
+            MemoryBehavior(working_set_kb=8, pattern="loop"),
+            blocks=112000,
+        ),
+        _p(
+            "io",
+            RegionSpec(n_blocks=24, branch_mix=PREDICTABLE, mem_frac=0.35),
+            MemoryBehavior(working_set_kb=2048, pattern="stream"),
+            blocks=24000,
+        ),
+    ),
+    schedule=("price", "io", "price"),
+    seed=301,
+)
+
+BODYTRACK = BenchmarkProfile(
+    name="bodytrack",
+    suite=SUITE,
+    description="Vision pipeline: moderately vectorised particle filtering "
+    "with irregular control flow and a mid-size working set.",
+    phases=(
+        _p(
+            "particle_filter",
+            RegionSpec(
+                n_blocks=48,
+                branch_mix=IRREGULAR,
+                vector_frac=0.08,
+                vector_style="dense",
+            ),
+            MemoryBehavior(working_set_kb=256, pattern="loop", random_frac=0.2),
+            blocks=72000,
+        ),
+        _p(
+            "edge_detect",
+            RegionSpec(
+                n_blocks=32,
+                branch_mix=LOCAL_HEAVY,
+                mem_frac=0.36,
+                vector_frac=0.12,
+                vector_style="dense",
+            ),
+            MemoryBehavior(working_set_kb=512, pattern="loop"),
+            blocks=48000,
+        ),
+    ),
+    schedule=("particle_filter", "edge_detect", "particle_filter"),
+    seed=302,
+)
+
+CANNEAL = BenchmarkProfile(
+    name="canneal",
+    suite=SUITE,
+    description="Simulated annealing over a huge netlist: random pointer "
+    "chasing, data-dependent (unpredictable) branches, no vector work.",
+    phases=(
+        _p(
+            "anneal",
+            RegionSpec(n_blocks=40, branch_mix=NOISY, mem_frac=0.42),
+            MemoryBehavior(working_set_kb=24576, pattern="random"),
+            blocks=80000,
+        ),
+        _p(
+            "routing_cost",
+            RegionSpec(n_blocks=32, branch_mix=IRREGULAR, mem_frac=0.38),
+            MemoryBehavior(working_set_kb=512, pattern="loop", random_frac=0.5),
+            blocks=40000,
+        ),
+    ),
+    schedule=("anneal", "routing_cost", "anneal"),
+    seed=303,
+)
+
+DEDUP = BenchmarkProfile(
+    name="dedup",
+    suite=SUITE,
+    description="Deduplication pipeline: hashing streams with only sparse "
+    "vector work — VPU gated > 90 % of cycles under PowerChop.",
+    phases=(
+        _p(
+            "chunk_hash",
+            RegionSpec(
+                n_blocks=40,
+                branch_mix=LOCAL_HEAVY,
+                mem_frac=0.36,
+                vector_style="sparse",
+            ),
+            MemoryBehavior(working_set_kb=4096, pattern="stream"),
+            blocks=72000,
+        ),
+        _p(
+            "dedup_lookup",
+            RegionSpec(n_blocks=40, branch_mix=IRREGULAR, mem_frac=0.40),
+            MemoryBehavior(working_set_kb=800, pattern="random"),
+            blocks=48000,
+        ),
+        _p(
+            "compress",
+            RegionSpec(n_blocks=32, branch_mix=LOCAL_HEAVY, vector_style="sparse"),
+            MemoryBehavior(working_set_kb=128, pattern="loop"),
+            blocks=40000,
+        ),
+    ),
+    schedule=("chunk_hash", "dedup_lookup", "compress", "chunk_hash"),
+    seed=304,
+)
+
+FLUIDANIMATE = BenchmarkProfile(
+    name="fluidanimate",
+    suite=SUITE,
+    description="SPH fluid simulation: vectorised neighbour-force kernels "
+    "over an MLC-resident grid.",
+    phases=(
+        _p(
+            "forces",
+            RegionSpec(
+                n_blocks=40,
+                branch_mix=PREDICTABLE,
+                mem_frac=0.36,
+                vector_frac=0.12,
+                vector_style="dense",
+            ),
+            MemoryBehavior(working_set_kb=512, pattern="loop", random_frac=0.30),
+            blocks=80000,
+        ),
+        _p(
+            "rebin",
+            RegionSpec(n_blocks=32, branch_mix=LOCAL_HEAVY, mem_frac=0.40),
+            MemoryBehavior(working_set_kb=768, pattern="random"),
+            blocks=40000,
+        ),
+    ),
+    schedule=("forces", "rebin", "forces"),
+    seed=305,
+)
+
+STREAMCLUSTER = BenchmarkProfile(
+    name="streamcluster",
+    suite=SUITE,
+    description="Online clustering: distance computations streaming through "
+    "points — MLC in its 1-way state > 40 % of cycles.",
+    phases=(
+        _p(
+            "dist",
+            RegionSpec(
+                n_blocks=24,
+                branch_mix=PREDICTABLE,
+                bias=0.99,
+                mem_frac=0.42,
+                vector_frac=0.10,
+                vector_style="dense",
+            ),
+            MemoryBehavior(working_set_kb=8192, pattern="stream"),
+            blocks=96000,
+        ),
+        _p(
+            "center_update",
+            RegionSpec(n_blocks=32, branch_mix=LOCAL_HEAVY, mem_frac=0.34),
+            MemoryBehavior(working_set_kb=96, pattern="loop"),
+            blocks=32000,
+        ),
+    ),
+    schedule=("dist", "center_update", "dist"),
+    seed=306,
+)
+
+PROFILES = (BLACKSCHOLES, BODYTRACK, CANNEAL, DEDUP, FLUIDANIMATE, STREAMCLUSTER)

@@ -1,0 +1,138 @@
+"""Trace export and replay.
+
+Lets users capture a synthetic workload's dynamic block trace to a compact
+file (e.g. to diff behaviour across code versions, feed external tools, or
+replay identical streams without re-generating them) and replay it through
+the simulator.  The format is line-oriented text:
+
+    # repro-trace v1 <name> <suite>
+    R <region_id> <entry> <n_blocks>          (region declarations)
+    B <region_id> <pc> <scalar> <vector> <loads> <stores> <has_branch>
+    X <block_pc> <taken> <phase> [addr...]     (dynamic executions)
+
+Replayed traces reconstruct BasicBlock objects (without branch models —
+outcomes come from the recorded stream), which is sufficient for the core
+timing model and PowerChop; the BT runtime requires region structure, so
+replay drives the simulator's components directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, TextIO
+
+from repro.isa.blocks import BasicBlock, BlockExec
+from repro.isa.branches import BiasedBranch, StaticBranch
+from repro.isa.instructions import InstructionMix
+from repro.workloads.generator import SyntheticWorkload
+
+FORMAT_TAG = "# repro-trace v1"
+
+
+def export_trace(
+    workload: SyntheticWorkload, handle: TextIO, max_instructions: int
+) -> int:
+    """Write a workload's trace; returns dynamic block executions written."""
+    handle.write(f"{FORMAT_TAG} {workload.name} {workload.suite}\n")
+    seen_blocks = set()
+    lines: List[str] = []
+    count = 0
+    for block_exec in workload.trace(max_instructions):
+        block = block_exec.block
+        if block.pc not in seen_blocks:
+            seen_blocks.add(block.pc)
+            mix = block.mix
+            handle.write(
+                f"B {block.region_id} {block.pc} {mix.scalar} {mix.vector} "
+                f"{mix.loads} {mix.stores} {int(mix.has_branch)}\n"
+            )
+        addresses = " ".join(str(a) for a in block_exec.addresses)
+        lines.append(
+            f"X {block.pc} {int(block_exec.taken)} {block_exec.phase_name}"
+            + (f" {addresses}" if addresses else "")
+        )
+        count += 1
+        if len(lines) >= 4096:
+            handle.write("\n".join(lines) + "\n")
+            lines.clear()
+    if lines:
+        handle.write("\n".join(lines) + "\n")
+    return count
+
+
+class ReplayTrace:
+    """A parsed trace file, iterable as :class:`BlockExec` records."""
+
+    def __init__(self, name: str, suite: str, blocks: Dict[int, BasicBlock],
+                 events: List[tuple]):
+        self.name = name
+        self.suite = suite
+        self.blocks = blocks
+        self._events = events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[BlockExec]:
+        blocks = self.blocks
+        for pc, taken, phase, addresses in self._events:
+            yield BlockExec(blocks[pc], taken, addresses, phase)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.blocks[pc].n_instr for pc, *_ in self._events)
+
+
+def load_trace(handle: TextIO) -> ReplayTrace:
+    """Parse a trace file written by :func:`export_trace`."""
+    header = handle.readline().strip()
+    if not header.startswith(FORMAT_TAG):
+        raise ValueError(f"not a repro trace file (header {header!r})")
+    parts = header[len(FORMAT_TAG):].split()
+    name = parts[0] if parts else "trace"
+    suite = parts[1] if len(parts) > 1 else "unknown"
+
+    blocks: Dict[int, BasicBlock] = {}
+    events: List[tuple] = []
+    for line in handle:
+        kind = line[0]
+        if kind == "X":
+            fields = line.split()
+            pc = int(fields[1])
+            taken = fields[2] == "1"
+            phase = fields[3]
+            addresses = tuple(int(a) for a in fields[4:])
+            events.append((pc, taken, phase, addresses))
+        elif kind == "B":
+            (_tag, region_id, pc, scalar, vector, loads, stores,
+             has_branch) = line.split()
+            mix = InstructionMix(
+                scalar=int(scalar),
+                vector=int(vector),
+                loads=int(loads),
+                stores=int(stores),
+                has_branch=has_branch == "1",
+            )
+            branch = None
+            if mix.has_branch:
+                # Outcomes replay from the recorded stream; the model is a
+                # placeholder that is never consulted.
+                branch = StaticBranch(pc=int(pc), model=BiasedBranch(0.5))
+            block = BasicBlock(int(pc), mix, branch)
+            block.region_id = int(region_id)
+            blocks[int(pc)] = block
+        elif line.strip() and not line.startswith("#"):
+            raise ValueError(f"unrecognised trace line: {line!r}")
+    return ReplayTrace(name, suite, blocks, events)
+
+
+def replay_through_core(trace: ReplayTrace, core) -> float:
+    """Drive a :class:`~repro.uarch.core.CoreModel` with a replayed trace.
+
+    Returns total cycles.  The BT layer is bypassed (replay is for timing
+    studies of recorded streams), so every block executes as translated
+    code.
+    """
+    cycles = 0.0
+    for block_exec in trace:
+        cycles += core.execute_block(block_exec, interpreting=False)
+    return cycles

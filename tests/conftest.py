@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.config import PowerChopConfig
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import MOBILE, SERVER
+from repro.workloads.generator import MemoryBehavior
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    PhaseDecl,
+    RegionSpec,
+    build_workload,
+)
+from repro.workloads.mixes import GLOBAL_HEAVY, PREDICTABLE
+
+
+@pytest.fixture
+def tiny_profile() -> BenchmarkProfile:
+    """A fast two-phase workload exercising all three units."""
+    return BenchmarkProfile(
+        name="tiny",
+        suite="test",
+        phases=(
+            PhaseDecl(
+                name="vector_loop",
+                region=RegionSpec(
+                    n_blocks=8,
+                    branch_mix=PREDICTABLE,
+                    vector_frac=0.2,
+                    vector_style="dense",
+                ),
+                memory=MemoryBehavior(working_set_kb=16, pattern="loop"),
+                blocks=6000,
+            ),
+            PhaseDecl(
+                name="scalar_chase",
+                region=RegionSpec(n_blocks=10, branch_mix=GLOBAL_HEAVY, mem_frac=0.35),
+                memory=MemoryBehavior(working_set_kb=256, pattern="random"),
+                blocks=5000,
+            ),
+        ),
+        schedule=("vector_loop", "scalar_chase", "vector_loop"),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def quick_config() -> PowerChopConfig:
+    """A PowerChop config sized for short test runs."""
+    return PowerChopConfig(
+        window_size=200, warmup_windows=2, collect_phase_vectors=True
+    )
+
+
+def run_tiny(
+    profile: BenchmarkProfile,
+    mode: GatingMode,
+    design=SERVER,
+    max_instructions: int = 120_000,
+    config: PowerChopConfig | None = None,
+):
+    """Build a fresh workload and run one short simulation."""
+    workload = build_workload(profile)
+    simulator = HybridSimulator(design, workload, mode, powerchop_config=config)
+    return simulator.run(max_instructions), simulator
+
+
+@pytest.fixture
+def run_quick(tiny_profile, quick_config):
+    def _run(mode=GatingMode.FULL, design=SERVER, max_instructions=120_000):
+        config = quick_config if mode is GatingMode.POWERCHOP else None
+        return run_tiny(tiny_profile, mode, design, max_instructions, config)
+
+    return _run

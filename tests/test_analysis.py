@@ -1,0 +1,102 @@
+"""Tests for the analysis utilities (phase quality, metrics, reporting)."""
+
+import pytest
+
+from repro.analysis.metrics import geomean, mean, suite_means, weighted_mean
+from repro.analysis.phases import PhaseQuality, manhattan_distance, phase_quality
+from repro.analysis.report import format_bars, format_table
+
+
+class TestManhattan:
+    def test_identical_vectors(self):
+        assert manhattan_distance({1: 10, 2: 5}, {1: 10, 2: 5}) == 0
+
+    def test_disjoint_vectors(self):
+        assert manhattan_distance({1: 10}, {2: 10}) == 20
+
+    def test_partial_overlap(self):
+        assert manhattan_distance({1: 10, 2: 5}, {1: 7, 3: 2}) == 3 + 5 + 2
+
+    def test_symmetry(self):
+        a, b = {1: 4, 2: 9}, {2: 3, 5: 7}
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+
+    def test_empty(self):
+        assert manhattan_distance({}, {}) == 0
+
+
+class TestPhaseQuality:
+    def test_perfect_recurrence(self):
+        log = [((1, 2), {1: 500, 2: 500})] * 3
+        quality = phase_quality(log, window_size=1000)
+        assert quality.mean_distance == 0.0
+        assert quality.identical_fraction == 1.0
+        assert quality.recurring_signatures == 1
+        assert quality.compared_pairs == 3
+
+    def test_imperfect_recurrence(self):
+        log = [
+            ((1, 2), {1: 500, 2: 500}),
+            ((1, 2), {1: 480, 2: 520}),
+        ]
+        quality = phase_quality(log, window_size=1000)
+        assert quality.mean_distance == 40
+        assert quality.mean_normalised == pytest.approx(0.02)
+
+    def test_singletons_ignored(self):
+        log = [((1,), {1: 10}), ((2,), {2: 10})]
+        quality = phase_quality(log)
+        assert quality.recurring_signatures == 0
+        assert quality.compared_pairs == 0
+        assert quality.identical_fraction == 1.0
+
+
+class TestMetrics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_suite_means(self):
+        records = [("a", 1.0), ("a", 3.0), ("b", 10.0)]
+        result = suite_means(records, lambda r: r[0], lambda r: r[1])
+        assert result == {"a": 2.0, "b": 10.0}
+
+    def test_weighted_mean(self):
+        values = {"x": 10.0, "y": 20.0}
+        weights = {"x": 1.0, "y": 3.0}
+        assert weighted_mean(values, weights) == pytest.approx(17.5)
+        with pytest.raises(ValueError):
+            weighted_mean(values, {"x": 0.0, "y": 0.0})
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = format_table(("name", "value"), [("a", 1), ("long-name", 2.5)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [("x", "y")])
+
+    def test_bars_render(self):
+        chart = format_bars(["a", "bb"], [0.5, 1.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bars_empty(self):
+        assert format_bars([], []) == "(empty)"
+
+    def test_bars_mismatch(self):
+        with pytest.raises(ValueError):
+            format_bars(["a"], [1.0, 2.0])

@@ -1,0 +1,152 @@
+"""Unit tests for the direction predictors."""
+
+import random
+
+import pytest
+
+from repro.uarch.branch.predictors import (
+    BimodalPredictor,
+    GSharePredictor,
+    LocalPredictor,
+    TournamentPredictor,
+)
+
+
+def train_and_measure(predictor, outcome_fn, n=4000, warmup=1000, pc=0x4000):
+    """Train on a generated outcome stream; return post-warmup mispred rate."""
+    misses = 0
+    measured = 0
+    for i in range(n):
+        outcome = outcome_fn(i)
+        if i >= warmup:
+            measured += 1
+            misses += predictor.predict(pc) != outcome
+        predictor.update(pc, outcome)
+    return misses / measured
+
+
+class TestBimodal:
+    def test_learns_biased(self):
+        predictor = BimodalPredictor(256)
+        rng = random.Random(0)
+        rate = train_and_measure(predictor, lambda i: rng.random() < 0.9)
+        assert rate < 0.15
+
+    def test_fails_alternating(self):
+        predictor = BimodalPredictor(256)
+        rate = train_and_measure(predictor, lambda i: i % 2 == 0)
+        assert rate > 0.4  # bimodal cannot track alternation
+
+    def test_flush_resets(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(10):
+            predictor.update(0x10, False)
+        assert predictor.predict(0x10) is False
+        predictor.flush()
+        assert predictor.predict(0x10) is True  # weakly-taken reset
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)
+
+    def test_storage_bits(self):
+        assert BimodalPredictor(1024).storage_bits == 2048
+
+
+class TestLocal:
+    def test_learns_short_pattern(self):
+        predictor = LocalPredictor(n_history=64, history_bits=8, n_counters=256)
+        pattern = [True, True, False]
+        rate = train_and_measure(predictor, lambda i: pattern[i % 3])
+        assert rate < 0.05
+
+    def test_learns_loop_within_history(self):
+        predictor = LocalPredictor(n_history=64, history_bits=10, n_counters=1024)
+        rate = train_and_measure(predictor, lambda i: (i % 6) != 5)
+        assert rate < 0.05
+
+    def test_fails_long_loop_beyond_history(self):
+        predictor = LocalPredictor(n_history=64, history_bits=4, n_counters=16)
+        rate = train_and_measure(predictor, lambda i: (i % 40) != 39)
+        assert rate > 0.01  # exits unpredictable with 4-bit history
+
+    def test_flush(self):
+        predictor = LocalPredictor(n_history=16, history_bits=4, n_counters=16)
+        for i in range(100):
+            predictor.update(0x8, i % 2 == 0)
+        predictor.flush()
+        assert predictor.predict(0x8) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalPredictor(n_history=3)
+        with pytest.raises(ValueError):
+            LocalPredictor(history_bits=0)
+
+
+class TestGShare:
+    def test_learns_global_alternation(self):
+        predictor = GSharePredictor(history_bits=8, n_counters=1024)
+        rate = train_and_measure(predictor, lambda i: i % 2 == 0)
+        assert rate < 0.05
+
+    def test_ghr_advances(self):
+        predictor = GSharePredictor(history_bits=4, n_counters=16)
+        predictor.update(0x0, True)
+        predictor.update(0x0, False)
+        assert predictor.ghr == 0b10
+
+    def test_flush_clears_ghr(self):
+        predictor = GSharePredictor(history_bits=4, n_counters=16)
+        predictor.update(0x0, True)
+        predictor.flush()
+        assert predictor.ghr == 0
+
+    def test_table_size_independent_of_history(self):
+        predictor = GSharePredictor(history_bits=8, n_counters=8192)
+        assert predictor.storage_bits == 2 * 8192 + 8
+
+
+class TestTournament:
+    def _make(self):
+        local = LocalPredictor(n_history=128, history_bits=8, n_counters=256)
+        global_pred = GSharePredictor(history_bits=8, n_counters=2048)
+        return TournamentPredictor(local, global_pred, n_chooser=256)
+
+    def test_beats_components_on_mixed_stream(self):
+        # Branch A: local pattern; branch B: global correlation.  The
+        # tournament should route each branch to the right component.
+        tournament = self._make()
+        outcomes_a = [True, True, False]
+        misses = 0
+        measured = 0
+        last_b = True
+        for i in range(6000):
+            a = outcomes_a[i % 3]
+            b = not last_b  # alternates -> global history catches it
+            last_b = b
+            if i > 2000:
+                measured += 2
+                misses += tournament.predict(0x100) != a
+                misses += tournament.predict(0x200) != b
+            tournament.update(0x100, a)
+            tournament.update(0x200, b)
+        assert misses / measured < 0.08
+
+    def test_flush_resets_everything(self):
+        tournament = self._make()
+        for i in range(500):
+            tournament.update(0x40, i % 2 == 0)
+        tournament.flush()
+        assert tournament.global_pred.ghr == 0
+
+    def test_chooser_validation(self):
+        local = LocalPredictor(n_history=16, history_bits=4, n_counters=16)
+        global_pred = GSharePredictor(history_bits=4, n_counters=16)
+        with pytest.raises(ValueError):
+            TournamentPredictor(local, global_pred, n_chooser=100)
+
+    def test_storage_aggregates(self):
+        tournament = self._make()
+        assert tournament.storage_bits > tournament.local.storage_bits
+        assert tournament.storage_bits > tournament.global_pred.storage_bits

@@ -1,0 +1,164 @@
+"""Tests for the binary translation subsystem."""
+
+import random
+
+import pytest
+
+from repro.bt.interpreter import Interpreter
+from repro.bt.nucleus import Nucleus
+from repro.bt.region_cache import RegionCache, Translation
+from repro.bt.runtime import BTRuntime, ExecMode
+from repro.bt.translator import Translator, likely_taken
+from repro.isa.branches import (
+    BiasedBranch,
+    GlobalCorrelatedBranch,
+    LoopBranch,
+    PatternBranch,
+    RandomBranch,
+)
+from repro.uarch.config import SERVER
+from repro.workloads.generator import RegionBuilder
+from repro.workloads.mixes import PREDICTABLE
+from repro.workloads.profiles import build_workload
+
+
+def make_region(seed=0, n_blocks=10):
+    rng = random.Random(seed)
+    builder = RegionBuilder(rng, pc_base=0x400000)
+    return builder.build(
+        region_id=0,
+        n_blocks=n_blocks,
+        avg_block_size=10,
+        mem_frac=0.3,
+        store_frac=0.3,
+        vector_frac=0.0,
+        vector_style="none",
+        branch_mix=dict(PREDICTABLE),
+        bias=0.92,
+    )
+
+
+class TestInterpreter:
+    def test_hotness_threshold(self):
+        interp = Interpreter(hot_threshold=3)
+        assert interp.note_execution(0x10, 5) is False
+        assert interp.note_execution(0x10, 5) is False
+        assert interp.note_execution(0x10, 5) is True  # just got hot
+        assert interp.note_execution(0x10, 5) is False  # only fires once
+
+    def test_counts_instructions(self):
+        interp = Interpreter(2)
+        interp.note_execution(0x10, 7)
+        interp.note_execution(0x20, 3)
+        assert interp.interpreted_instructions == 10
+        assert interp.interpreted_blocks == 2
+
+    def test_forget(self):
+        interp = Interpreter(2)
+        interp.note_execution(0x10, 1)
+        interp.forget(0x10)
+        assert interp.execution_count(0x10) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interpreter(0)
+
+
+class TestTranslator:
+    def test_likely_taken_heuristics(self):
+        assert likely_taken(LoopBranch(8)) is True
+        assert likely_taken(BiasedBranch(0.9)) is True
+        assert likely_taken(BiasedBranch(0.1)) is False
+        assert likely_taken(RandomBranch()) is False
+        assert likely_taken(GlobalCorrelatedBranch()) is False
+        assert likely_taken(PatternBranch([True, True, False])) is True
+        assert likely_taken(PatternBranch([True, False, False])) is False
+
+    def test_translation_covers_path(self):
+        region = make_region()
+        translator = Translator(max_blocks=3)
+        translation = translator.translate(region, region.blocks[region.entry])
+        assert 1 <= translation.n_blocks <= 3
+        assert translation.head_pc == region.blocks[region.entry].pc
+        assert translation.n_instr > 0
+
+    def test_translation_stops_at_loop(self):
+        region = make_region(seed=2)
+        translator = Translator(max_blocks=50)
+        translation = translator.translate(region, region.blocks[0])
+        assert len(set(translation.block_pcs)) == len(translation.block_pcs)
+
+    def test_tid_is_lower_32_bits(self):
+        translation = Translation(0x1_2345_6789, (0x1_2345_6789,), 10, 0, 0)
+        assert translation.tid == 0x2345_6789
+
+
+class TestRegionCache:
+    def test_lookup_and_stats(self):
+        cache = RegionCache()
+        translation = Translation(0x100, (0x100,), 5, 0, 0)
+        assert cache.lookup(0x100) is None
+        cache.insert(translation)
+        assert cache.lookup(0x100) is translation
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 2
+        assert 0x100 in cache
+        assert len(cache) == 1
+
+
+class TestNucleus:
+    def test_dispatch_and_cost(self):
+        nucleus = Nucleus()
+        nucleus.register("tick", lambda x: x * 2.0, entry_cost_cycles=100)
+        assert nucleus.raise_interrupt("tick", 5) == 110
+        assert nucleus.counts["tick"] == 1
+        assert nucleus.cycles == 110
+
+    def test_unknown_kind(self):
+        nucleus = Nucleus()
+        with pytest.raises(KeyError):
+            nucleus.raise_interrupt("nmi")
+
+    def test_negative_cost_rejected(self):
+        nucleus = Nucleus()
+        with pytest.raises(ValueError):
+            nucleus.register("x", lambda: 0.0, -1)
+
+
+class TestBTRuntime:
+    def _runtime_and_trace(self, tiny_profile, n_instructions=60_000):
+        workload = build_workload(tiny_profile)
+        regions = {
+            p.region.region_id: p.region for p in workload.phases.values()
+        }
+        runtime = BTRuntime(SERVER, regions)
+        return runtime, workload.trace(n_instructions)
+
+    def test_cold_code_interpreted_then_translated(self, tiny_profile):
+        runtime, trace = self._runtime_and_trace(tiny_profile)
+        modes = []
+        for block_exec in trace:
+            mode, _cycles, _entered = runtime.on_block(block_exec.block)
+            modes.append(mode)
+        assert modes[0] is ExecMode.INTERPRETED
+        assert modes[-1] is ExecMode.TRANSLATED
+        translated_frac = modes.count(ExecMode.TRANSLATED) / len(modes)
+        assert translated_frac > 0.9  # hot code runs from the region cache
+
+    def test_translation_cost_charged_once_per_translation(self, tiny_profile):
+        runtime, trace = self._runtime_and_trace(tiny_profile)
+        charges = 0
+        for block_exec in trace:
+            _mode, cycles, _entered = runtime.on_block(block_exec.block)
+            if cycles:
+                charges += 1
+        assert charges == runtime.translator.translations_built
+
+    def test_entries_reported(self, tiny_profile):
+        runtime, trace = self._runtime_and_trace(tiny_profile)
+        entries = 0
+        for block_exec in trace:
+            _mode, _cycles, entered = runtime.on_block(block_exec.block)
+            if entered is not None:
+                entries += 1
+        assert entries > 100  # plenty of translation executions

@@ -1,0 +1,91 @@
+"""Edge-case coverage for the BT runtime and translator interplay."""
+
+import pytest
+
+from repro.bt.runtime import BTRuntime, ExecMode
+from repro.isa.blocks import BasicBlock, CodeRegion
+from repro.isa.branches import BiasedBranch, LoopBranch, StaticBranch
+from repro.isa.instructions import InstructionMix
+from repro.uarch.config import SERVER
+
+
+def block(pc, taken_p=0.0, taken_succ=0, fall_succ=0, scalar=6):
+    mix = InstructionMix(scalar=scalar, has_branch=True)
+    branch = StaticBranch(pc=pc + scalar * 4, model=BiasedBranch(taken_p))
+    b = BasicBlock(pc, mix, branch, taken_succ, fall_succ)
+    return b
+
+
+def make_runtime(blocks, entry=0):
+    region = CodeRegion(0, blocks, entry)
+    return BTRuntime(SERVER, {0: region}), region
+
+
+class TestSideExits:
+    def test_divergence_exits_translation(self):
+        # Two blocks: a falls to b (likely), but we drive a "taken" path to
+        # itself to force a side exit mid-translation.
+        a = block(0x100, taken_p=0.0, taken_succ=0, fall_succ=1)
+        b = block(0x200, taken_p=0.0, taken_succ=0, fall_succ=0)
+        runtime, region = make_runtime([a, b])
+        # Heat up block a so it gets translated (covers a->b by fall path).
+        for _ in range(SERVER.hot_threshold):
+            runtime.on_block(a)
+        mode, _cycles, entered = runtime.on_block(a)
+        assert mode is ExecMode.TRANSLATED and entered is not None
+        # Executing block a again (instead of the expected b) is a side
+        # exit followed by a fresh lookup at a's translation head.
+        mode2, _cycles2, entered2 = runtime.on_block(a)
+        assert mode2 is ExecMode.TRANSLATED
+        assert entered2 is not None  # re-entered the same translation
+
+    def test_mid_translation_blocks_not_interpreted(self):
+        a = block(0x100, taken_p=0.0, taken_succ=1, fall_succ=1)
+        b = block(0x200, taken_p=0.0, taken_succ=0, fall_succ=0)
+        runtime, _region = make_runtime([a, b])
+        for _ in range(SERVER.hot_threshold):
+            runtime.on_block(a)
+            runtime.on_block(b)
+        # a is hot and translated (covering b); b executions inside the
+        # translation must not count as interpreted.
+        before = runtime.interpreter.interpreted_blocks
+        runtime.on_block(a)
+        runtime.on_block(b)
+        assert runtime.interpreter.interpreted_blocks == before
+
+
+class TestLoopTranslations:
+    def test_backedge_translation_is_short(self):
+        # A 2-block loop: translation must stop when the path revisits.
+        mix = InstructionMix(scalar=6, has_branch=True)
+        a = BasicBlock(0x100, mix, StaticBranch(0x118, LoopBranch(8)), 0, 1)
+        mix2 = InstructionMix(scalar=6, has_branch=True)
+        b = BasicBlock(0x200, mix2, StaticBranch(0x218, LoopBranch(8)), 0, 0)
+        runtime, region = make_runtime([a, b])
+        translation = runtime.translator.translate(region, a)
+        assert translation.n_blocks <= 2
+        assert len(set(translation.block_pcs)) == translation.n_blocks
+
+
+class TestTranslationAccounting:
+    def test_region_cache_grows_monotonically(self):
+        a = block(0x100, taken_p=0.5, taken_succ=1, fall_succ=1)
+        b = block(0x200, taken_p=0.5, taken_succ=0, fall_succ=0)
+        runtime, _region = make_runtime([a, b])
+        sizes = []
+        for _ in range(100):
+            runtime.on_block(a)
+            runtime.on_block(b)
+            sizes.append(len(runtime.region_cache))
+        assert sizes == sorted(sizes)
+        assert sizes[-1] >= 1
+
+    def test_translation_cycles_match_cost_model(self):
+        a = block(0x100)
+        runtime, _region = make_runtime([a])
+        total = 0.0
+        for _ in range(SERVER.hot_threshold + 1):
+            _mode, cycles, _entered = runtime.on_block(a)
+            total += cycles
+        built = runtime.translator.instructions_translated
+        assert total == pytest.approx(built * SERVER.translate_cycles_per_instr)

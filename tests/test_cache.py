@@ -1,0 +1,133 @@
+"""Unit tests for the set-associative cache with way gating."""
+
+import pytest
+
+from repro.uarch.cache.cache import SetAssocCache
+
+
+def make_cache(size_kb=4, assoc=4, line=64):
+    return SetAssocCache(size_kb, assoc, line, "test")
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = make_cache(4, 4, 64)
+        assert cache.n_sets == 16
+        assert cache.active_size_kb == 4
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(3, 4, 64)  # 3KB not divisible into 4-way 64B sets
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 0)
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 4, 60)
+
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x1004) is True  # same line
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_distinct_lines(self):
+        cache = make_cache()
+        cache.access(0x0)
+        assert cache.access(0x40) is False  # next line
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = SetAssocCache(0.25, 2, 64, "tiny")  # 2 sets x 2 ways
+        set_stride = cache.n_sets * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_resident_bound(self):
+        cache = make_cache(4, 4)
+        for i in range(10_000):
+            cache.access(i * 64)
+        assert cache.resident_lines() <= 4 * cache.n_sets
+
+
+class TestWriteback:
+    def test_dirty_eviction_counts(self):
+        cache = SetAssocCache(0.125, 1, 64, "dm")  # direct-mapped, 2 sets
+        set_stride = cache.n_sets * 64
+        cache.access(0x0, is_write=True)
+        cache.access(set_stride)  # evicts dirty line
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_free(self):
+        cache = SetAssocCache(0.125, 1, 64, "dm")
+        set_stride = cache.n_sets * 64
+        cache.access(0x0)
+        cache.access(set_stride)
+        assert cache.writebacks == 0
+
+    def test_write_hit_sets_dirty(self):
+        cache = SetAssocCache(0.125, 1, 64, "dm")
+        set_stride = cache.n_sets * 64
+        cache.access(0x0)
+        cache.access(0x0, is_write=True)
+        cache.access(set_stride)
+        assert cache.writebacks == 1
+
+
+class TestWayGating:
+    def test_shrink_flushes_gated_ways(self):
+        cache = make_cache(4, 4)
+        for i in range(4):  # fill set 0's ways
+            cache.access(i * cache.n_sets * 64, is_write=True)
+        dirty = cache.set_active_ways(1)
+        assert dirty == 3
+        assert cache.resident_lines() == 1
+
+    def test_shrink_keeps_mru(self):
+        cache = make_cache(4, 4)
+        stride = cache.n_sets * 64
+        for i in range(4):
+            cache.access(i * stride)
+        cache.access(0)  # make line 0 MRU
+        cache.set_active_ways(1)
+        assert cache.access(0) is True
+
+    def test_grow_costs_nothing(self):
+        cache = make_cache(4, 4)
+        cache.set_active_ways(1)
+        assert cache.set_active_ways(4) == 0
+
+    def test_lookup_limited_to_active_ways(self):
+        cache = make_cache(4, 4)
+        cache.set_active_ways(2)
+        stride = cache.n_sets * 64
+        for i in range(3):
+            cache.access(i * stride)
+        assert cache.resident_lines() <= 2 * cache.n_sets
+        assert cache.access(0 * stride) is False  # evicted by 2-way pressure
+
+    def test_active_size(self):
+        cache = make_cache(8, 8)
+        cache.set_active_ways(4)
+        assert cache.active_size_kb == 4.0
+
+    def test_invalid_ways(self):
+        cache = make_cache(4, 4)
+        with pytest.raises(ValueError):
+            cache.set_active_ways(0)
+        with pytest.raises(ValueError):
+            cache.set_active_ways(5)
+
+
+class TestFlush:
+    def test_flush_writes_back_dirty(self):
+        cache = make_cache()
+        cache.access(0x0, is_write=True)
+        cache.access(0x40)
+        assert cache.flush() == 1
+        assert cache.resident_lines() == 0

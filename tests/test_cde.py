@@ -1,0 +1,157 @@
+"""Tests for the Criticality Decision Engine (Algorithm 1)."""
+
+import pytest
+
+from repro.core.cde import CriticalityDecisionEngine, WindowStats
+from repro.core.config import PowerChopConfig
+from repro.core.criticality import CriticalityThresholds
+from repro.uarch.config import SERVER
+
+SIG = (1, 2, 3, 4)
+
+
+def make_cde(managed=("vpu", "bpu", "mlc"), max_attempts=3):
+    config = PowerChopConfig(
+        managed_units=managed, max_profile_attempts=max_attempts
+    )
+    return CriticalityDecisionEngine(config, SERVER)
+
+
+def window(
+    instructions=10_000,
+    simd=0,
+    mlc_hits=0,
+    mlc_accesses=None,
+    branches=1000,
+    mispredicts=20,
+    large=True,
+    full_ways=True,
+):
+    if mlc_accesses is None:
+        mlc_accesses = mlc_hits
+    return WindowStats(
+        instructions=instructions,
+        simd_instructions=simd,
+        mlc_hits=mlc_hits,
+        mlc_accesses=mlc_accesses,
+        branches=branches,
+        mispredicts=mispredicts,
+        bpu_large_active=large,
+        mlc_at_full_ways=full_ways,
+    )
+
+
+class TestNewPhase:
+    def test_first_miss_starts_profiling(self):
+        cde = make_cde()
+        action, payload = cde.on_pvt_miss(SIG)
+        assert action == "profile"
+        assert payload.bpu_on is True  # window 1 measures the large BPU
+        assert cde.new_phases == 1
+
+    def test_two_window_protocol_with_bpu(self):
+        cde = make_cde()
+        cde.on_pvt_miss(SIG)
+        # Window 1 (large active): not enough yet.
+        assert cde.feed_profile_window(SIG, window(large=True)) is None
+        # Second arming must route to the small predictor.
+        action, payload = cde.on_pvt_miss(SIG)
+        assert action == "profile"
+        assert payload.bpu_on is False
+        # Window 2 (small active): profiling completes.
+        policy = cde.feed_profile_window(
+            SIG, window(large=False, mispredicts=25)
+        )
+        assert policy is not None
+        assert cde.policies_assigned == 1
+
+    def test_single_window_without_bpu(self):
+        cde = make_cde(managed=("vpu", "mlc"))
+        cde.on_pvt_miss(SIG)
+        policy = cde.feed_profile_window(SIG, window(simd=500, mlc_hits=500))
+        assert policy is not None
+        assert policy.vpu_on is True  # 5% SIMD > 1% threshold
+        assert policy.bpu_on is True  # unmanaged
+        assert policy.mlc_ways == 8
+
+    def test_policy_uses_measured_scores(self):
+        cde = make_cde(managed=("vpu", "mlc"))
+        cde.on_pvt_miss(SIG)
+        policy = cde.feed_profile_window(SIG, window(simd=0, mlc_hits=0))
+        assert policy.vpu_on is False
+        assert policy.mlc_ways == 1
+
+
+class TestEvictedPhase:
+    def test_reregistration(self):
+        cde = make_cde(managed=("vpu",))
+        cde.on_pvt_miss(SIG)
+        policy = cde.feed_profile_window(SIG, window())
+        action, payload = cde.on_pvt_miss(SIG)
+        assert action == "register"
+        assert payload == policy
+        assert cde.reregistrations == 1
+
+    def test_store_evicted(self):
+        cde = make_cde()
+        from repro.core.policies import min_power_policy
+
+        policy = min_power_policy(SERVER)
+        cde.store_evicted(SIG, policy)
+        action, payload = cde.on_pvt_miss(SIG)
+        assert (action, payload) == ("register", policy)
+
+
+class TestUnprofileablePhases:
+    def test_ignored_after_max_attempts(self):
+        cde = make_cde(max_attempts=2)
+        for _ in range(2):
+            action, _ = cde.on_pvt_miss(SIG)
+            assert action == "profile"
+        action, payload = cde.on_pvt_miss(SIG)
+        assert (action, payload) == ("ignore", None)
+        assert cde.unprofileable_phases == 1
+        # Subsequent misses stay cheap.
+        assert cde.on_pvt_miss(SIG)[0] == "ignore"
+
+    def test_partial_progress_resets_attempt_clock(self):
+        cde = make_cde(max_attempts=2)
+        cde.on_pvt_miss(SIG)
+        cde.feed_profile_window(SIG, window(large=True))  # real data collected
+        for _ in range(5):
+            action, _ = cde.on_pvt_miss(SIG)
+        assert action == "profile"  # never ignored once data exists
+
+
+class TestMLCMeasurement:
+    def test_low_demand_shortcut(self):
+        cde = make_cde(managed=("mlc",))
+        cde.on_pvt_miss(SIG, current_mlc_ways=1)
+        # Gated ways, but demand is below Threshold_MLC2: scoreable.
+        policy = cde.feed_profile_window(
+            SIG, window(mlc_hits=0, mlc_accesses=5, full_ways=False)
+        )
+        assert policy is not None
+        assert policy.mlc_ways == 1
+
+    def test_high_demand_requires_full_ways(self):
+        cde = make_cde(managed=("mlc",))
+        cde.on_pvt_miss(SIG, current_mlc_ways=1)
+        result = cde.feed_profile_window(
+            SIG, window(mlc_hits=10, mlc_accesses=2000, full_ways=False)
+        )
+        assert result is None  # insufficient: must re-measure at full ways
+        _action, payload = cde.on_pvt_miss(SIG, current_mlc_ways=1)
+        assert payload.mlc_ways == SERVER.mlc_assoc
+
+    def test_lazy_arming_keeps_current_ways(self):
+        cde = make_cde(managed=("mlc",))
+        _action, payload = cde.on_pvt_miss(SIG, current_mlc_ways=4)
+        assert payload.mlc_ways == 4  # no upsize until proven necessary
+
+
+class TestVPUMeasurement:
+    def test_vpu_state_preserved_during_profiling(self):
+        cde = make_cde()
+        _action, payload = cde.on_pvt_miss(SIG, current_vpu_on=False)
+        assert payload.vpu_on is False  # no costly VPU flip to measure SIMD

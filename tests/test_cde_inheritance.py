@@ -1,0 +1,83 @@
+"""Focused tests for the CDE's signature-variant policy inheritance."""
+
+from repro.core.cde import CriticalityDecisionEngine, WindowStats
+from repro.core.config import PowerChopConfig
+from repro.core.policies import PolicyVector
+from repro.uarch.config import SERVER
+
+
+def make_cde(managed=("vpu",)):
+    return CriticalityDecisionEngine(PowerChopConfig(managed_units=managed), SERVER)
+
+
+def window(simd=0, instructions=10_000):
+    return WindowStats(
+        instructions=instructions,
+        simd_instructions=simd,
+        mlc_hits=0,
+        mlc_accesses=0,
+        branches=1000,
+        mispredicts=10,
+        bpu_large_active=True,
+        mlc_at_full_ways=True,
+    )
+
+
+class TestInheritance:
+    def test_three_of_four_overlap_inherits(self):
+        cde = make_cde()
+        base = (1, 2, 3, 4)
+        cde.on_pvt_miss(base)
+        policy = cde.feed_profile_window(base, window(simd=5000))
+        assert policy is not None and policy.vpu_on is True
+
+        variant = (1, 2, 3, 9)  # 4th-hottest slot wobbled
+        action, inherited = cde.on_pvt_miss(variant)
+        assert action == "register"
+        assert inherited == policy
+        assert cde.inherited_policies == 1
+        assert cde.new_phases == 1  # the variant did not count as new
+
+    def test_disjoint_signature_profiles_fresh(self):
+        cde = make_cde()
+        base = (1, 2, 3, 4)
+        cde.on_pvt_miss(base)
+        cde.feed_profile_window(base, window())
+        action, _ = cde.on_pvt_miss((10, 20, 30, 40))
+        assert action == "profile"
+        assert cde.inherited_policies == 0
+
+    def test_two_of_four_overlap_does_not_inherit(self):
+        cde = make_cde()
+        base = (1, 2, 3, 4)
+        cde.on_pvt_miss(base)
+        cde.feed_profile_window(base, window())
+        action, _ = cde.on_pvt_miss((1, 2, 30, 40))
+        assert action == "profile"
+
+    def test_inherited_signature_becomes_known(self):
+        cde = make_cde()
+        base = (1, 2, 3, 4)
+        cde.on_pvt_miss(base)
+        cde.feed_profile_window(base, window())
+        variant = (2, 3, 4, 5)
+        cde.on_pvt_miss(variant)
+        assert cde.known_policy(variant) is not None
+
+    def test_short_signatures_inherit_conservatively(self):
+        """A 1-translation signature must not inherit from everything."""
+        cde = make_cde()
+        base = (7,)
+        cde.on_pvt_miss(base)
+        policy = cde.feed_profile_window(base, window())
+        assert policy is not None
+        # A different singleton shares zero translations: no inheritance.
+        action, _ = cde.on_pvt_miss((8,))
+        assert action == "profile"
+
+    def test_store_evicted_feeds_inheritance(self):
+        cde = make_cde()
+        stored = PolicyVector(False, True, SERVER.mlc_assoc)
+        cde.store_evicted((5, 6, 7, 8), stored)
+        action, payload = cde.on_pvt_miss((5, 6, 7, 9))
+        assert (action, payload) == ("register", stored)

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gobmk" in out
+        assert "MobileBench" in out
+
+    def test_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "server" in out and "mobile" in out
+
+    def test_run_powerchop(self, capsys):
+        assert main(["run", "hmmer", "-n", "150000"]) == 0
+        out = capsys.readouterr().out
+        assert "hmmer" in out
+        assert "vpu gated" in out
+        assert "PVT" in out
+
+    def test_run_full_mode(self, capsys):
+        assert main(["run", "hmmer", "-n", "100000", "-m", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "[full]" in out
+
+    def test_run_explicit_design(self, capsys):
+        assert main(["run", "hmmer", "-n", "100000", "-d", "mobile"]) == 0
+        assert "mobile" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "hmmer", "-n", "150000"]) == 0
+        out = capsys.readouterr().out
+        assert "powerchop" in out and "minimal" in out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["run", "doom", "-n", "1000"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestThresholdPresets:
+    def test_presets_are_ordered(self):
+        from repro.core.criticality import CriticalityThresholds
+
+        conservative = CriticalityThresholds.conservative()
+        default = CriticalityThresholds()
+        aggressive = CriticalityThresholds.aggressive()
+        assert conservative.vpu < default.vpu < aggressive.vpu
+        assert conservative.mlc_high < default.mlc_high < aggressive.mlc_high

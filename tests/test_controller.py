@@ -1,0 +1,134 @@
+"""Tests for the PowerChop controller (HTB/PVT/CDE glue)."""
+
+import pytest
+
+from repro.bt.nucleus import Nucleus
+from repro.bt.region_cache import Translation
+from repro.core.config import PowerChopConfig
+from repro.core.controller import PowerChopController
+from repro.core.policies import PolicyVector, min_power_policy
+from repro.power.accounting import EnergyAccounting
+from repro.uarch.config import SERVER
+from repro.uarch.core import CoreModel
+
+
+def make_controller(window_size=5, warmup=0, managed=("vpu", "bpu", "mlc")):
+    core = CoreModel(SERVER)
+    nucleus = Nucleus()
+    accountant = EnergyAccounting(SERVER, core)
+    config = PowerChopConfig(
+        window_size=window_size,
+        warmup_windows=warmup,
+        managed_units=managed,
+        collect_phase_vectors=True,
+    )
+    controller = PowerChopController(config, SERVER, core, nucleus, accountant)
+    return controller, core, nucleus
+
+
+def translation(tid, n_instr=20):
+    return Translation(tid, (tid,), n_instr, 0, 0)
+
+
+class TestWindowing:
+    def test_window_boundary_triggers_lookup(self):
+        controller, _core, _nucleus = make_controller(window_size=3)
+        t = translation(0x100)
+        controller.on_translation_entry(t, 0.0)
+        controller.on_translation_entry(t, 10.0)
+        assert controller.pvt.lookups == 0
+        controller.on_translation_entry(t, 20.0)
+        assert controller.windows_seen == 1
+        assert controller.pvt.lookups == 1
+
+    def test_warmup_windows_skip_decisions(self):
+        controller, _core, _nucleus = make_controller(window_size=2, warmup=2)
+        t = translation(0x100)
+        for i in range(4):  # two full windows, both inside warmup
+            controller.on_translation_entry(t, float(i))
+        assert controller.windows_seen == 2
+        assert controller.pvt.lookups == 0
+        assert controller.cde.invocations == 0
+
+    def test_phase_log_collected(self):
+        controller, _core, _nucleus = make_controller(window_size=2)
+        t = translation(0x200)
+        controller.on_translation_entry(t, 0.0)
+        controller.on_translation_entry(t, 1.0)
+        assert controller.phase_log == [((0x200,), {0x200: 2})]
+
+
+class TestPolicyApplication:
+    def test_apply_policy_gates_units_with_penalties(self):
+        controller, core, _nucleus = make_controller()
+        policy = min_power_policy(SERVER)
+        cycles = controller._apply_policy(policy, 100.0)
+        assert core.states.vpu_on is False
+        assert core.states.bpu_large_on is False
+        assert core.states.mlc_ways == 1
+        expected_min = (
+            SERVER.vpu_switch_cycles
+            + SERVER.vpu_save_restore_cycles
+            + SERVER.bpu_switch_cycles
+            + SERVER.mlc_switch_cycles
+        )
+        assert cycles >= expected_min
+
+    def test_noop_policy_costs_nothing(self):
+        controller, core, _nucleus = make_controller()
+        policy = PolicyVector(True, True, SERVER.mlc_assoc)
+        assert controller._apply_policy(policy, 0.0) == 0.0
+
+    def test_switch_counts_recorded(self):
+        controller, _core, _nucleus = make_controller()
+        controller._apply_policy(min_power_policy(SERVER), 0.0)
+        counts = controller.accountant.switch_counts
+        assert counts == {"vpu": 1, "bpu": 1, "mlc": 1}
+
+    def test_mlc_downsize_charges_writebacks(self):
+        controller, core, _nucleus = make_controller()
+        for i in range(8000):
+            core.hierarchy.mlc.access(i * 64, is_write=True)
+        cycles = controller._apply_policy(PolicyVector(True, True, 1), 0.0)
+        assert cycles > SERVER.mlc_switch_cycles  # dirty WB cost added
+
+
+class TestMissPath:
+    def _drive_window(self, controller, tid, now):
+        for i in range(controller.config.window_size):
+            now += 1.0
+            controller.on_translation_entry(translation(tid), now)
+        return now
+
+    def test_profiling_lifecycle(self):
+        controller, core, _nucleus = make_controller(window_size=4)
+        now = self._drive_window(controller, 0x100, 0.0)  # window 1: miss
+        assert controller.cde.new_phases == 1
+        assert controller._measuring == ((0x100,))
+        # Window 2 measures with large BPU; window 3 with small.
+        now = self._drive_window(controller, 0x100, now)
+        now = self._drive_window(controller, 0x100, now)
+        now = self._drive_window(controller, 0x100, now)
+        assert controller.cde.policies_assigned >= 1
+        assert controller.pvt.hits >= 1  # subsequent windows hit
+
+    def test_measurement_routes_small_without_gating(self):
+        controller, core, _nucleus = make_controller(window_size=4)
+        now = self._drive_window(controller, 0x100, 0.0)
+        now = self._drive_window(controller, 0x100, now)
+        # After the first measured window the CDE arms the small-BPU window.
+        assert core.bpu.force_small is True
+        assert core.bpu.large_on is True  # not power gated for measurement
+
+    def test_interrupt_cost_charged(self):
+        controller, _core, nucleus = make_controller(window_size=2)
+        controller.on_translation_entry(translation(0x1), 0.0)
+        controller.on_translation_entry(translation(0x1), 1.0)
+        assert nucleus.counts.get("pvt_miss") == 1
+        assert nucleus.cycles >= controller.config.cde_interrupt_cycles
+
+    def test_miss_rate_stat(self):
+        controller, _core, _nucleus = make_controller(window_size=2)
+        controller.on_translation_entry(translation(0x1), 0.0)
+        controller.on_translation_entry(translation(0x1), 1.0)
+        assert controller.pvt_miss_rate_per_translation == pytest.approx(0.5)

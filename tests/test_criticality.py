@@ -1,0 +1,83 @@
+"""Tests for criticality scoring and policy decisions (§IV-C2)."""
+
+import pytest
+
+from repro.core.criticality import (
+    CriticalityScores,
+    CriticalityThresholds,
+    bpu_criticality,
+    decide_policy,
+    mlc_criticality,
+    vpu_criticality,
+)
+from repro.uarch.config import SERVER
+
+
+class TestScores:
+    def test_vpu_ratio(self):
+        assert vpu_criticality(50, 1000) == 0.05
+        assert vpu_criticality(0, 1000) == 0.0
+        assert vpu_criticality(10, 0) == 0.0
+
+    def test_bpu_difference(self):
+        assert bpu_criticality(0.10, 0.04) == pytest.approx(0.06)
+        assert bpu_criticality(0.05, 0.05) == 0.0
+        # The small predictor can even be (noise-level) better.
+        assert bpu_criticality(0.04, 0.05) == pytest.approx(-0.01)
+
+    def test_mlc_ratio(self):
+        assert mlc_criticality(20, 1000) == 0.02
+        assert mlc_criticality(5, 0) == 0.0
+
+
+class TestThresholds:
+    def test_defaults_ordered(self):
+        thresholds = CriticalityThresholds()
+        assert thresholds.mlc_low <= thresholds.mlc_high
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalityThresholds(mlc_high=0.001, mlc_low=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalityThresholds(vpu=-0.1)
+
+
+class TestDecidePolicy:
+    thresholds = CriticalityThresholds(vpu=0.01, bpu=0.01, mlc_high=0.01, mlc_low=0.001)
+
+    def _decide(self, vpu=0.0, bpu=0.0, mlc=0.0, managed=("vpu", "bpu", "mlc")):
+        scores = CriticalityScores(vpu=vpu, bpu=bpu, mlc=mlc)
+        return decide_policy(scores, self.thresholds, SERVER, managed)
+
+    def test_all_noncritical_gates_everything(self):
+        policy = self._decide()
+        assert policy == type(policy)(vpu_on=False, bpu_on=False, mlc_ways=1)
+
+    def test_all_critical_keeps_everything(self):
+        policy = self._decide(vpu=0.2, bpu=0.1, mlc=0.1)
+        assert policy.vpu_on and policy.bpu_on and policy.mlc_ways == 8
+
+    def test_vpu_threshold_boundary(self):
+        # "fails to exceed" the threshold -> gated off
+        assert self._decide(vpu=0.01).vpu_on is False
+        assert self._decide(vpu=0.0101).vpu_on is True
+
+    def test_mlc_three_states(self):
+        assert self._decide(mlc=0.05).mlc_ways == 8
+        assert self._decide(mlc=0.005).mlc_ways == 4  # between thresholds
+        assert self._decide(mlc=0.0005).mlc_ways == 1
+
+    def test_unmanaged_units_stay_full(self):
+        policy = self._decide(managed=("vpu",))
+        assert policy.vpu_on is False
+        assert policy.bpu_on is True
+        assert policy.mlc_ways == 8
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            self._decide(managed=("gpu",))
+
+    def test_negative_bpu_criticality_gates(self):
+        assert self._decide(bpu=-0.02).bpu_on is False

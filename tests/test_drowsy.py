@@ -1,0 +1,107 @@
+"""Tests for the drowsy-cache baseline (related-work comparison)."""
+
+import pytest
+
+from repro.uarch.cache.drowsy import (
+    DROWSY_LEAKAGE_FRAC,
+    DrowsyMLCController,
+    DrowsySetAssocCache,
+)
+
+
+def make_cache():
+    return DrowsySetAssocCache(4, 4, 64, "d")
+
+
+class TestDrowsyCache:
+    def test_access_wakes_drowsy_line(self):
+        cache = make_cache()
+        cache.access_timed(0x0, 0.0)
+        cache.drowse_all(100.0)
+        assert cache.drowsy_count == 1
+        assert cache.access_timed(0x0, 200.0) is True
+        assert cache.wakes == 1
+        assert cache.drowsy_count == 0
+
+    def test_drowse_all_counts_resident_lines(self):
+        cache = make_cache()
+        for i in range(5):
+            cache.access_timed(i * 64, float(i))
+        assert cache.drowse_all(10.0) == 5
+        assert cache.drowse_all(11.0) == 0  # already drowsy
+
+    def test_eviction_of_drowsy_line_updates_count(self):
+        cache = DrowsySetAssocCache(0.125, 1, 64, "dm")  # 2 sets, 1 way
+        stride = cache.n_sets * 64
+        cache.access_timed(0x0, 0.0)
+        cache.drowse_all(1.0)
+        cache.access_timed(stride, 2.0)  # evicts the drowsy line
+        assert cache.drowsy_count == 0
+
+    def test_drowsy_fraction_integral(self):
+        cache = make_cache()
+        cache.access_timed(0x0, 0.0)
+        cache.drowse_all(0.0)
+        # One resident drowsy line plus 63 invalid lines (held at retention
+        # voltage): the whole array sits drowsy for all 1000 cycles.
+        assert cache.drowsy_fraction(1000.0) == pytest.approx(1.0)
+
+    def test_awake_resident_lines_reduce_fraction(self):
+        cache = make_cache()
+        capacity = cache.n_sets * cache.assoc
+        for i in range(capacity):  # fill completely, all awake
+            cache.access_timed(i * 64, 0.0)
+        frac = cache.drowsy_fraction(1000.0)
+        assert frac == pytest.approx(0.0, abs=0.01)
+
+    def test_hits_and_misses_still_tracked(self):
+        cache = make_cache()
+        assert cache.access_timed(0x0, 0.0) is False
+        assert cache.access_timed(0x0, 1.0) is True
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestDrowsyController:
+    def test_periodic_drowse(self):
+        cache = make_cache()
+        controller = DrowsyMLCController(cache, interval_cycles=100.0)
+        cache.access_timed(0x0, 0.0)
+        controller.tick(50.0)
+        assert controller.drowse_events == 0
+        controller.tick(150.0)
+        assert controller.drowse_events == 1
+        assert cache.drowsy_count == 1
+
+    def test_leakage_factor_between_floor_and_one(self):
+        cache = make_cache()
+        controller = DrowsyMLCController(cache, 10.0)
+        for i in range(100):
+            cache.access_timed((i % 32) * 64, float(i * 10))
+            controller.tick(float(i * 10))
+        factor = controller.mlc_leakage_factor(1000.0)
+        assert DROWSY_LEAKAGE_FRAC <= factor <= 1.0
+
+    def test_wake_stalls(self):
+        cache = make_cache()
+        controller = DrowsyMLCController(cache, 10.0)
+        cache.access_timed(0x0, 0.0)
+        cache.drowse_all(1.0)
+        cache.access_timed(0x0, 2.0)
+        assert controller.wake_stall_cycles() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DrowsyMLCController(make_cache(), 0.0)
+
+
+class TestDrowsyExperiment:
+    def test_smoke(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        from repro.experiments import common, table_drowsy
+
+        common.clear_cache()
+        result = table_drowsy.run(benchmarks=("hmmer",))
+        assert len(result.rows) == 1
+        saved = float(result.rows[0][1].rstrip("%")) / 100
+        assert 0.0 <= saved <= 1.0 - DROWSY_LEAKAGE_FRAC + 0.01
+        common.clear_cache()

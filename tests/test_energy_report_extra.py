@@ -1,0 +1,92 @@
+"""Extra coverage for the energy report and gating-energy interactions."""
+
+import pytest
+
+from repro.power.accounting import EnergyAccounting, EnergyReport
+from repro.power.gating import GatingOverheadModel
+from repro.power.mcpat import CorePowerModel
+from repro.uarch.config import MOBILE, SERVER
+from repro.uarch.core import CoreModel
+
+
+class TestEnergyReportHelpers:
+    def _report(self, residency):
+        return EnergyReport(
+            cycles=100.0,
+            seconds=1e-7,
+            leakage_j=1.0,
+            dynamic_j=1.0,
+            switch_overhead_j=0.0,
+            unit_leakage_j={},
+            unit_dynamic_j={},
+            vpu_on_frac=0.25,
+            bpu_on_frac=0.5,
+            mlc_way_residency=residency,
+        )
+
+    def test_gated_fracs(self):
+        report = self._report({8: 0.5, 4: 0.3, 1: 0.2})
+        assert report.vpu_gated_frac == pytest.approx(0.75)
+        assert report.bpu_gated_frac == pytest.approx(0.5)
+        assert report.mlc_gated_frac(8) == pytest.approx(0.5)
+        assert report.mlc_gated_frac(4) == pytest.approx(0.2)
+
+    def test_zero_seconds(self):
+        report = self._report({8: 1.0})
+        report.seconds = 0.0
+        assert report.avg_power_w == 0.0
+        assert report.avg_leakage_w == 0.0
+
+
+class TestMultiSwitchAccounting:
+    def test_many_switches_accumulate_energy(self):
+        core = CoreModel(SERVER)
+        accountant = EnergyAccounting(SERVER, core)
+        gating = GatingOverheadModel(SERVER, CorePowerModel(SERVER))
+        per_switch = gating.switch_energy_j("vpu")
+        for i in range(10):
+            state = i % 2 == 0
+            core.apply_vpu_state(not state)
+            accountant.on_switch("vpu", not state, float(i * 1000))
+        report = accountant.finalize(10_000.0)
+        assert report.switch_counts["vpu"] == 10
+        assert report.switch_overhead_j == pytest.approx(10 * per_switch)
+
+    def test_alternating_states_split_residency_evenly(self):
+        core = CoreModel(SERVER)
+        accountant = EnergyAccounting(SERVER, core)
+        for i in range(1, 5):
+            new_state = i % 2 == 0
+            core.apply_vpu_state(new_state)
+            accountant.on_switch("vpu", new_state, i * 250.0)
+        report = accountant.finalize(1250.0)
+        assert report.vpu_on_frac == pytest.approx(0.6)
+
+    def test_mlc_multiway_residency(self):
+        core = CoreModel(SERVER)
+        accountant = EnergyAccounting(SERVER, core)
+        core.apply_mlc_state(4)
+        accountant.on_switch("mlc", 4, 100.0)
+        core.apply_mlc_state(1)
+        accountant.on_switch("mlc", 1, 300.0)
+        report = accountant.finalize(1000.0)
+        assert report.mlc_way_residency == pytest.approx(
+            {8: 0.1, 4: 0.2, 1: 0.7}
+        )
+
+
+class TestCrossDesignEnergy:
+    def test_same_gating_saves_more_fraction_on_mobile(self):
+        """The mobile MLC is 60% of the core, so way gating moves mobile
+        leakage proportionally more than server leakage (the paper's
+        explanation for the mobile core's larger savings)."""
+        savings = {}
+        for design in (SERVER, MOBILE):
+            core = CoreModel(design)
+            baseline = EnergyAccounting(design, core)
+            full = baseline.finalize(1e6).avg_leakage_w
+            core2 = CoreModel(design)
+            core2.apply_mlc_state(1)
+            gated = EnergyAccounting(design, core2).finalize(1e6).avg_leakage_w
+            savings[design.kind] = 1.0 - gated / full
+        assert savings["mobile"] > savings["server"]

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end-to-end (small budgets)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, path, argv):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, f"{EXAMPLES}/quickstart.py", ["hmmer", "150000"]
+        )
+        assert "PowerChop slowdown" in out
+        assert "power saved" in out
+
+    def test_custom_workload(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, f"{EXAMPLES}/custom_workload.py", ["400000"]
+        )
+        assert "media-pipeline" in out
+        assert "phases" in out
+
+    def test_threshold_tuning(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, f"{EXAMPLES}/threshold_tuning.py",
+            ["hmmer", "200000"],
+        )
+        assert "vpu_threshold" in out
+
+    def test_phase_inspection(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, f"{EXAMPLES}/phase_inspection.py",
+            ["hmmer", "400000"],
+        )
+        assert "phase quality" in out
+        assert "PVT" in out
+
+    @pytest.mark.slow
+    def test_mobile_web_browsing(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, f"{EXAMPLES}/mobile_web_browsing.py", ["250000"]
+        )
+        assert "amazon" in out

@@ -1,0 +1,92 @@
+"""Tiny-scale smoke tests of the heavyweight experiment modules.
+
+These run the same code paths the full benchmark suite drives, at ~5% of
+the instruction budget — enough to catch harness regressions without the
+cost (shape assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    common.clear_cache()
+    yield
+    common.clear_cache()
+
+
+def test_unit_activity_mobile_smoke():
+    from repro.experiments import unit_activity
+
+    fractions = unit_activity.unit_gated_fractions("amazon")
+    assert set(fractions) == {"vpu", "bpu", "mlc"}
+    assert all(0.0 <= v <= 1.0 for v in fractions.values())
+
+
+def test_fig16_smoke():
+    from repro.experiments import fig16_vpu_timeout
+
+    result = fig16_vpu_timeout.run(benchmarks=["hmmer", "namd"])
+    assert len(result.rows) == 2
+    assert "mean_powerchop_gated" in result.summary
+
+
+def test_fig11_smoke():
+    from repro.experiments import fig11_policy_changes
+
+    result = fig11_policy_changes.run(benchmarks=["hmmer"])
+    assert result.rows[0][0] == "hmmer"
+
+
+def test_fig12_smoke():
+    from repro.experiments import fig12_performance
+
+    result = fig12_performance.run(benchmarks=["hmmer"])
+    assert "mean_minimal_slowdown" in result.summary
+
+
+def test_fig13_fig14_smoke():
+    from repro.experiments import fig13_power_energy, fig14_leakage
+
+    r13 = fig13_power_energy.run(benchmarks=["hmmer", "gobmk"])
+    r14 = fig14_leakage.run(benchmarks=["hmmer", "gobmk"])
+    assert len(r13.rows) == 2
+    assert len(r14.rows) == 2
+    # These share cached runs: the second call must not redo the work.
+    assert r13.summary["mean_power_reduction"] is not None
+
+
+def test_headline_smoke(monkeypatch):
+    # Headline sweeps all 29 apps; restrict via monkeypatching the suites.
+    from repro.experiments import headline
+    from repro.workloads import suites
+
+    monkeypatch.setattr(
+        headline,
+        "server_benchmarks",
+        lambda: [suites.get_profile("hmmer")],
+    )
+    monkeypatch.setattr(
+        headline,
+        "mobile_benchmarks",
+        lambda: [suites.get_profile("amazon")],
+    )
+    result = headline.run()
+    assert {row[0] for row in result.rows} == {"server", "mobile"}
+
+
+def test_sw_cost_smoke():
+    from repro.experiments import table_sw_cost
+
+    result = table_sw_cost.run(benchmarks=["hmmer"])
+    assert result.summary["mean_miss_rate"] >= 0.0
+
+
+def test_thresholds_smoke():
+    from repro.experiments import table_thresholds
+
+    result = table_thresholds.run(benchmarks=("hmmer",), fraction=0.2)
+    presets = {row[1] for row in result.rows}
+    assert presets == {"conservative", "default", "aggressive"}

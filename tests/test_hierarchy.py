@@ -1,0 +1,102 @@
+"""Tests for the cache hierarchy and the stream prefetcher."""
+
+import pytest
+
+from repro.uarch.cache.cache import SetAssocCache
+from repro.uarch.cache.hierarchy import CacheHierarchy, MemoryLevel
+from repro.uarch.cache.prefetch import StreamPrefetcher
+
+
+def make_hierarchy(llc=True, prefetch=0):
+    l1 = SetAssocCache(1, 2, 64, "l1")
+    mlc = SetAssocCache(8, 4, 64, "mlc")
+    llc_cache = SetAssocCache(64, 8, 64, "llc") if llc else None
+    return CacheHierarchy(
+        l1, mlc, llc_cache, mlc_latency=10, llc_latency=30, memory_latency=100,
+        prefetch_streams=prefetch, prefetch_window=4,
+    )
+
+
+class TestHierarchy:
+    def test_cold_miss_goes_to_memory(self):
+        hierarchy = make_hierarchy()
+        cycles, level = hierarchy.access(0x10000)
+        assert level is MemoryLevel.MEMORY
+        assert cycles == 100
+
+    def test_l1_hit_free(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0x0)
+        cycles, level = hierarchy.access(0x0)
+        assert (cycles, level) == (0, MemoryLevel.L1)
+
+    def test_mlc_hit_after_l1_eviction(self):
+        hierarchy = make_hierarchy()
+        # Touch enough lines to overflow the 1KB L1 but stay in the 8KB MLC.
+        for addr in range(0, 4096, 64):
+            hierarchy.access(addr)
+        cycles, level = hierarchy.access(0x0)
+        assert level is MemoryLevel.MLC
+        assert cycles == 10
+
+    def test_no_llc_goes_straight_to_memory(self):
+        hierarchy = make_hierarchy(llc=False)
+        for addr in range(0, 64 * 1024, 64):  # blow out the MLC
+            hierarchy.access(addr)
+        cycles, level = hierarchy.access(0x0)
+        assert level in (MemoryLevel.MEMORY, MemoryLevel.MLC)
+
+    def test_way_gating_reduces_mlc_capacity(self):
+        hierarchy = make_hierarchy()
+        hierarchy.set_mlc_ways(1)
+        assert hierarchy.mlc.active_ways == 1
+
+    def test_level_counts_accumulate(self):
+        hierarchy = make_hierarchy()
+        for _ in range(5):
+            hierarchy.access(0x0)
+        assert hierarchy.level_counts[MemoryLevel.L1] == 4
+
+
+class TestStreamPrefetcher:
+    def test_sequential_stream_detected(self):
+        prefetcher = StreamPrefetcher(n_streams=2, window=4)
+        assert prefetcher.access(100) is False
+        assert prefetcher.access(101) is True
+        assert prefetcher.access(102) is True
+        assert prefetcher.coverage > 0.5
+
+    def test_random_stream_not_covered(self):
+        prefetcher = StreamPrefetcher(n_streams=2, window=4)
+        hits = sum(prefetcher.access(i * 1000) for i in range(50))
+        assert hits == 0
+
+    def test_multiple_interleaved_streams(self):
+        prefetcher = StreamPrefetcher(n_streams=4, window=4)
+        hits = 0
+        for i in range(1, 50):
+            hits += prefetcher.access(1000 + i)
+            hits += prefetcher.access(90000 + i)
+        assert hits >= 90  # both streams tracked simultaneously
+
+    def test_window_bound(self):
+        prefetcher = StreamPrefetcher(n_streams=1, window=2)
+        prefetcher.access(10)
+        assert prefetcher.access(13) is False  # gap of 3 > window 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(0)
+
+    def test_hierarchy_charges_prefetched_latency(self):
+        hierarchy = make_hierarchy(llc=False, prefetch=8)
+        # Sequential sweep: after the first few lines the stream is covered.
+        cycles = [hierarchy.access(addr)[0] for addr in range(0, 64 * 64, 64)]
+        assert cycles[0] == 100  # cold, uncovered
+        assert cycles[-1] == hierarchy.prefetched_latency
+        assert hierarchy.prefetch_covered > 0
+
+    def test_prefetch_disabled(self):
+        hierarchy = make_hierarchy(llc=False, prefetch=0)
+        cycles = [hierarchy.access(addr)[0] for addr in range(0, 64 * 64, 64)]
+        assert all(c == 100 for c in cycles)

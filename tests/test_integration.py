@@ -1,0 +1,177 @@
+"""Cross-module integration tests exercising the paper's key claims
+(scaled down to test-size runs)."""
+
+import pytest
+
+from repro.core.config import PowerChopConfig
+from repro.sim.results import leakage_reduction, power_reduction, slowdown
+from repro.sim.simulator import GatingMode, HybridSimulator, run_simulation
+from repro.uarch.config import MOBILE, SERVER
+from repro.workloads.generator import MemoryBehavior
+from repro.workloads.mixes import NOISY, PREDICTABLE
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    PhaseDecl,
+    RegionSpec,
+    build_workload,
+)
+
+N = 600_000
+CONFIG = PowerChopConfig(window_size=400, warmup_windows=3)
+
+
+def run(profile, mode, design=SERVER, n=N):
+    config = CONFIG if mode is GatingMode.POWERCHOP else None
+    return run_simulation(
+        design, profile, mode, max_instructions=n, powerchop_config=config
+    )
+
+
+@pytest.fixture(scope="module")
+def scalar_profile():
+    """No vector work, near-perfectly biased branches (no loop patterns a
+    big predictor could exploit), L1-resident data: everything should be
+    gateable with negligible slowdown."""
+    return BenchmarkProfile(
+        name="all-noncritical",
+        suite="test",
+        phases=(
+            PhaseDecl(
+                name="spin",
+                region=RegionSpec(n_blocks=10, branch_mix={"biased": 1.0}, bias=0.99),
+                memory=MemoryBehavior(working_set_kb=8, pattern="loop"),
+                blocks=30_000,
+            ),
+        ),
+        schedule=("spin",),
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def critical_profile():
+    """Dense vector + MLC-resident random working set + noisy branches:
+    the VPU and MLC must stay on."""
+    return BenchmarkProfile(
+        name="all-critical",
+        suite="test",
+        phases=(
+            PhaseDecl(
+                name="kernel",
+                region=RegionSpec(
+                    n_blocks=10,
+                    branch_mix=NOISY,
+                    vector_frac=0.25,
+                    vector_style="dense",
+                    mem_frac=0.35,
+                ),
+                memory=MemoryBehavior(working_set_kb=400, pattern="random"),
+                blocks=30_000,
+            ),
+        ),
+        schedule=("kernel",),
+        seed=12,
+    )
+
+
+class TestGatingDecisions:
+    def test_noncritical_workload_fully_gated(self, scalar_profile):
+        result = run(scalar_profile, GatingMode.POWERCHOP)
+        energy = result.energy
+        # Gated for everything past the warmup/profiling prologue (which is
+        # a large fraction of a test-sized run).
+        assert energy.vpu_gated_frac > 0.6
+        assert energy.bpu_gated_frac > 0.4
+        assert energy.mlc_gated_frac(SERVER.mlc_assoc) > 0.6
+
+    def test_noncritical_gating_nearly_free(self, scalar_profile):
+        full = run(scalar_profile, GatingMode.FULL)
+        chopped = run(scalar_profile, GatingMode.POWERCHOP)
+        # One-time warmup/CDE costs dominate a 600K-instruction run; the
+        # steady-state cost is far lower (see benchmarks/fig12).
+        assert slowdown(full, chopped) < 0.15
+        assert leakage_reduction(full, chopped) > 0.20
+
+    def test_critical_workload_stays_powered(self, critical_profile):
+        result = run(critical_profile, GatingMode.POWERCHOP)
+        energy = result.energy
+        assert energy.vpu_gated_frac < 0.2
+        assert energy.mlc_way_residency.get(SERVER.mlc_assoc, 0.0) > 0.8
+
+    def test_critical_workload_minimal_power_hurts(self, critical_profile):
+        full = run(critical_profile, GatingMode.FULL)
+        minimal = run(critical_profile, GatingMode.MINIMAL)
+        assert slowdown(full, minimal) > 0.4
+
+
+class TestPowerPerformanceTradeoff:
+    def test_powerchop_between_extremes(self, scalar_profile):
+        full = run(scalar_profile, GatingMode.FULL)
+        chopped = run(scalar_profile, GatingMode.POWERCHOP)
+        minimal = run(scalar_profile, GatingMode.MINIMAL)
+        # Power: minimal <= powerchop <= full
+        assert (
+            minimal.energy.avg_power_w
+            <= chopped.energy.avg_power_w
+            <= full.energy.avg_power_w * 1.0001
+        )
+
+    def test_power_reduction_positive_on_real_benchmarks(self):
+        from repro.workloads.suites import get_profile
+
+        full = run(get_profile("hmmer"), GatingMode.FULL, n=800_000)
+        chopped = run(get_profile("hmmer"), GatingMode.POWERCHOP, n=800_000)
+        assert power_reduction(full, chopped) > 0.03
+        assert slowdown(full, chopped) < 0.10
+
+
+class TestTimeoutComparison:
+    def test_powerchop_gates_sparse_vector_timeout_cannot(self):
+        """The Fig. 16 mechanism: uniformly-sparse vector ops."""
+        profile = BenchmarkProfile(
+            name="sparse-vec",
+            suite="test",
+            phases=(
+                PhaseDecl(
+                    name="loop",
+                    region=RegionSpec(
+                        n_blocks=12,
+                        branch_mix=PREDICTABLE,
+                        vector_style="sparse",
+                        side_block_prob=0.4,
+                    ),
+                    memory=MemoryBehavior(working_set_kb=16, pattern="loop"),
+                    blocks=30_000,
+                ),
+            ),
+            schedule=("loop",),
+            seed=13,
+        )
+        chopped = run(profile, GatingMode.POWERCHOP)
+        timed = run(profile, GatingMode.TIMEOUT)
+        assert chopped.energy.vpu_gated_frac > timed.energy.vpu_gated_frac + 0.3
+
+    def test_timeout_gates_pure_scalar(self, scalar_profile):
+        timed = run(scalar_profile, GatingMode.TIMEOUT)
+        # Gated for the whole run except the initial 20K-cycle idle period.
+        assert timed.energy.vpu_gated_frac > 0.85
+
+
+class TestPhaseMachinery:
+    def test_pvt_hits_dominate_steady_state(self, scalar_profile):
+        result = run(scalar_profile, GatingMode.POWERCHOP)
+        assert result.pvt_hits > result.pvt_misses
+
+    def test_policies_stable_in_single_phase(self, scalar_profile):
+        result = run(scalar_profile, GatingMode.POWERCHOP)
+        # One steady phase: a handful of early switches, then no churn.
+        assert sum(result.switch_counts.values()) <= 12
+
+    def test_mobile_end_to_end(self):
+        from repro.workloads.suites import get_profile
+
+        full = run(get_profile("amazon"), GatingMode.FULL, design=MOBILE, n=1_500_000)
+        chopped = run(
+            get_profile("amazon"), GatingMode.POWERCHOP, design=MOBILE, n=1_500_000
+        )
+        assert power_reduction(full, chopped) > 0.05

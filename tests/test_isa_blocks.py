@@ -1,0 +1,91 @@
+"""Unit tests for basic blocks and code regions."""
+
+import pytest
+
+from repro.isa.blocks import INSTR_BYTES, BasicBlock, BlockExec, CodeRegion
+from repro.isa.branches import BiasedBranch, GlobalHistory, StaticBranch
+from repro.isa.instructions import InstructionMix
+
+
+def make_block(pc=0x1000, taken=True, scalar=5):
+    mix = InstructionMix(scalar=scalar, loads=1, has_branch=True)
+    branch = StaticBranch(pc=pc + scalar * 4, model=BiasedBranch(1.0 if taken else 0.0))
+    return BasicBlock(pc, mix, branch, taken_succ=1, fall_succ=0)
+
+
+class TestBasicBlock:
+    def test_cached_counts(self):
+        block = make_block()
+        assert block.n_instr == block.mix.total == 7
+        assert block.n_mem == 1
+        assert block.n_loads == 1
+        assert block.n_vec == 0
+
+    def test_size_bytes(self):
+        block = make_block()
+        assert block.size_bytes == block.n_instr * INSTR_BYTES
+
+    def test_branch_mix_consistency_enforced(self):
+        mix = InstructionMix(scalar=3, has_branch=True)
+        with pytest.raises(ValueError):
+            BasicBlock(0x0, mix, branch=None)
+
+    def test_next_block_taken(self):
+        block = make_block(taken=True)
+        succ, taken = block.next_block(GlobalHistory())
+        assert (succ, taken) == (1, True)
+
+    def test_next_block_not_taken(self):
+        block = make_block(taken=False)
+        succ, taken = block.next_block(GlobalHistory())
+        assert (succ, taken) == (0, False)
+
+    def test_unconditional_block(self):
+        mix = InstructionMix(scalar=4, has_branch=False)
+        block = BasicBlock(0x20, mix, None, taken_succ=3, fall_succ=2)
+        succ, taken = block.next_block(GlobalHistory())
+        assert (succ, taken) == (2, False)
+
+
+class TestCodeRegion:
+    def test_successor_validation(self):
+        block = make_block()
+        block.taken_succ = 5
+        with pytest.raises(ValueError):
+            CodeRegion(0, [block])
+
+    def test_region_id_stamped(self):
+        a, b = make_block(0x100), make_block(0x200)
+        a.taken_succ = a.fall_succ = 1
+        b.taken_succ = b.fall_succ = 0
+        region = CodeRegion(7, [a, b])
+        assert a.region_id == 7
+        assert b.region_id == 7
+
+    def test_static_instruction_count(self):
+        a, b = make_block(0x100), make_block(0x200)
+        a.taken_succ = a.fall_succ = 1
+        b.taken_succ = b.fall_succ = 0
+        region = CodeRegion(0, [a, b])
+        assert region.total_static_instructions == a.n_instr + b.n_instr
+        assert region.block_pcs() == [0x100, 0x200]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CodeRegion(0, [])
+
+    def test_entry_bounds(self):
+        block = make_block()
+        block.taken_succ = block.fall_succ = 0
+        with pytest.raises(ValueError):
+            CodeRegion(0, [block], entry=3)
+
+
+class TestBlockExec:
+    def test_carries_payload(self):
+        block = make_block()
+        exec_ = BlockExec(block, True, (0x10, 0x20), "phase-a")
+        assert exec_.block is block
+        assert exec_.taken is True
+        assert exec_.addresses == (0x10, 0x20)
+        assert exec_.phase_name == "phase-a"

@@ -1,0 +1,134 @@
+"""Unit tests for branch behaviour models."""
+
+import pytest
+
+from repro.isa.branches import (
+    BiasedBranch,
+    GlobalCorrelatedBranch,
+    GlobalHistory,
+    LoopBranch,
+    PatternBranch,
+    RandomBranch,
+    StaticBranch,
+)
+
+
+@pytest.fixture
+def history():
+    return GlobalHistory()
+
+
+class TestGlobalHistory:
+    def test_push_and_read(self, history):
+        history.push(True)
+        history.push(False)
+        assert history.bit(0) == 0  # most recent
+        assert history.bit(1) == 1
+
+    def test_depth_mask(self):
+        history = GlobalHistory(depth=4)
+        for _ in range(10):
+            history.push(True)
+        assert history.bits == 0b1111
+
+
+class TestBiasedBranch:
+    def test_strong_bias(self, history):
+        branch = BiasedBranch(0.95, seed=1)
+        taken = sum(branch.next_outcome(history) for _ in range(2000))
+        assert 1800 < taken < 2000
+
+    def test_never_taken(self, history):
+        branch = BiasedBranch(0.0, seed=1)
+        assert not any(branch.next_outcome(history) for _ in range(100))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BiasedBranch(1.5)
+
+    def test_clone_replays_identically(self, history):
+        branch = BiasedBranch(0.5, seed=42)
+        outcomes = [branch.next_outcome(history) for _ in range(50)]
+        clone = branch.clone()
+        assert [clone.next_outcome(history) for _ in range(50)] == outcomes
+
+
+class TestRandomBranch:
+    def test_roughly_balanced(self, history):
+        branch = RandomBranch(seed=3)
+        taken = sum(branch.next_outcome(history) for _ in range(4000))
+        assert 1700 < taken < 2300
+
+    def test_clone_type(self):
+        assert isinstance(RandomBranch(1).clone(), RandomBranch)
+
+
+class TestLoopBranch:
+    def test_period(self, history):
+        branch = LoopBranch(period=4)
+        outcomes = [branch.next_outcome(history) for _ in range(8)]
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_min_period(self):
+        with pytest.raises(ValueError):
+            LoopBranch(1)
+
+    def test_clone_resets_state(self, history):
+        branch = LoopBranch(3)
+        branch.next_outcome(history)
+        clone = branch.clone()
+        assert [clone.next_outcome(history) for _ in range(3)] == [True, True, False]
+
+
+class TestPatternBranch:
+    def test_repeats(self, history):
+        pattern = [True, False, False]
+        branch = PatternBranch(pattern)
+        outcomes = [branch.next_outcome(history) for _ in range(9)]
+        assert outcomes == pattern * 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PatternBranch([])
+
+
+class TestGlobalCorrelatedBranch:
+    def test_pure_parity(self):
+        history = GlobalHistory()
+        branch = GlobalCorrelatedBranch(offsets=(1, 2), noise=0.0)
+        # Prime history: bits (from recent) = 1, 0, 1
+        history.push(True)
+        history.push(False)
+        history.push(True)
+        # parity of bit1 (0) and bit2 (1) -> 1 -> taken
+        assert branch.next_outcome(history) is True
+
+    def test_invert(self):
+        history = GlobalHistory()
+        history.push(True)
+        history.push(False)
+        history.push(True)
+        branch = GlobalCorrelatedBranch(offsets=(1, 2), noise=0.0, invert=True)
+        assert branch.next_outcome(history) is False
+
+    def test_noise_flips_sometimes(self):
+        history = GlobalHistory()
+        branch = GlobalCorrelatedBranch(offsets=(1,), noise=1.0, seed=5)
+        clean = GlobalCorrelatedBranch(offsets=(1,), noise=0.0)
+        history.push(True)
+        assert branch.next_outcome(history) != clean.next_outcome(history)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalCorrelatedBranch(offsets=())
+        with pytest.raises(ValueError):
+            GlobalCorrelatedBranch(noise=2.0)
+
+
+class TestStaticBranch:
+    def test_resolve_updates_history_and_count(self):
+        history = GlobalHistory()
+        branch = StaticBranch(pc=0x100, model=BiasedBranch(1.0))
+        assert branch.resolve(history) is True
+        assert history.bit(0) == 1
+        assert branch.executions == 1

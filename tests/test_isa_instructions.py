@@ -1,0 +1,49 @@
+"""Unit tests for instruction classes and mixes."""
+
+import pytest
+
+from repro.isa.instructions import InstrClass, InstructionMix
+
+
+class TestInstrClass:
+    def test_distinct_values(self):
+        values = {c.value for c in InstrClass}
+        assert len(values) == len(InstrClass) == 5
+
+    def test_names(self):
+        assert InstrClass.VECTOR.name == "VECTOR"
+        assert InstrClass.SCALAR < InstrClass.VECTOR
+
+
+class TestInstructionMix:
+    def test_total_includes_branch(self):
+        mix = InstructionMix(scalar=5, vector=2, loads=2, stores=1, has_branch=True)
+        assert mix.total == 11
+
+    def test_total_without_branch(self):
+        mix = InstructionMix(scalar=5, vector=0, loads=0, stores=0, has_branch=False)
+        assert mix.total == 5
+
+    def test_memory_ops(self):
+        mix = InstructionMix(scalar=1, loads=3, stores=2)
+        assert mix.memory_ops == 5
+
+    def test_validate_rejects_negative(self):
+        mix = InstructionMix(scalar=-1, loads=2)
+        with pytest.raises(ValueError):
+            mix.validate()
+
+    def test_validate_rejects_empty(self):
+        mix = InstructionMix(scalar=0, loads=0, stores=0, vector=0, has_branch=False)
+        with pytest.raises(ValueError):
+            mix.validate()
+
+    def test_validate_accepts_branch_only(self):
+        mix = InstructionMix(has_branch=True)
+        mix.validate()
+        assert mix.total == 1
+
+    def test_frozen(self):
+        mix = InstructionMix(scalar=3)
+        with pytest.raises(AttributeError):
+            mix.scalar = 5

@@ -1,0 +1,62 @@
+"""Phase-detection behaviour across representative real profiles."""
+
+import pytest
+
+from repro.core.config import PowerChopConfig
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import design_for_suite
+from repro.workloads.profiles import build_workload
+from repro.workloads.suites import get_profile
+
+#: One representative per suite + the motivation apps.
+SAMPLE = ["gobmk", "hmmer", "gems", "dedup", "msn"]
+
+
+def run_powerchop(name, max_instructions=500_000):
+    profile = get_profile(name)
+    design = design_for_suite(profile.suite)
+    config = PowerChopConfig(window_size=500, warmup_windows=2,
+                             collect_phase_vectors=True)
+    simulator = HybridSimulator(
+        design, build_workload(profile), GatingMode.POWERCHOP,
+        powerchop_config=config,
+    )
+    result = simulator.run(max_instructions)
+    return result, simulator
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+class TestPhaseDetection:
+    def test_signatures_recur(self, name):
+        result, _sim = run_powerchop(name)
+        assert result.windows > 4
+        assert result.pvt_hits > 0, "phases never recognised"
+
+    def test_policies_get_assigned(self, name):
+        result, sim = run_powerchop(name)
+        assert sim.controller.cde.phases_characterised() > 0
+
+    def test_phase_quality_reasonable(self, name):
+        from repro.analysis.phases import phase_quality
+
+        _result, sim = run_powerchop(name)
+        quality = phase_quality(sim.controller.phase_log, window_size=500)
+        if quality.compared_pairs:
+            # Same-signature windows must execute mostly-identical code.
+            assert quality.identical_fraction > 0.75
+
+    def test_htb_never_overflows_pathologically(self, name):
+        _result, sim = run_powerchop(name)
+        htb = sim.controller.htb
+        total = sim.controller.translation_executions
+        if total:
+            assert htb.overflowed / total < 0.2
+
+
+class TestCrossProfileDistinctness:
+    def test_different_phases_have_different_signatures(self):
+        _result, sim = run_powerchop("gems", max_instructions=800_000)
+        signatures = {sig for sig, _vec in sim.controller.phase_log}
+        # gems has two strongly different phases; PowerChop must see at
+        # least two distinct recurring signatures.
+        assert len(signatures) >= 2

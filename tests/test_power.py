@@ -1,0 +1,169 @@
+"""Tests for the power models: CACTI-lite, McPAT-lite, gating, accounting."""
+
+import pytest
+
+from repro.power.accounting import EnergyAccounting
+from repro.power.cacti import estimate_sram, htb_cost, pvt_cost
+from repro.power.gating import GatingOverheadModel
+from repro.power.mcpat import CorePowerModel
+from repro.uarch.config import MOBILE, SERVER
+from repro.uarch.core import CoreModel
+
+
+class TestCacti:
+    def test_monotone_in_size(self):
+        small = estimate_sram(256)
+        large = estimate_sram(4096)
+        assert large.area_mm2 > small.area_mm2
+        assert large.leakage_w > small.leakage_w
+        assert large.read_energy_pj > small.read_energy_pj
+
+    def test_cam_premium(self):
+        ram = estimate_sram(1024, fully_associative=False)
+        cam = estimate_sram(1024, fully_associative=True)
+        assert cam.leakage_w > ram.leakage_w
+
+    def test_htb_cost_in_paper_regime(self):
+        est = htb_cost()
+        # Paper: ~0.027 W and ~0.008 mm^2; we require the same magnitude.
+        assert 0.005 < est.total_power_w < 0.08
+        assert 0.002 < est.area_mm2 < 0.05
+
+    def test_pvt_smaller_than_htb(self):
+        assert pvt_cost().area_mm2 < htb_cost().area_mm2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_sram(0)
+
+
+class TestMcPAT:
+    def test_leakage_tracks_area_fractions(self):
+        model = CorePowerModel(SERVER)
+        assert model.mlc.leakage_w == pytest.approx(0.35 * SERVER.core_leakage_w)
+        assert model.vpu.leakage_w == pytest.approx(0.20 * SERVER.core_leakage_w)
+        assert model.bpu.leakage_w == pytest.approx(0.04 * SERVER.core_leakage_w)
+        total = (
+            model.mlc.leakage_w
+            + model.vpu.leakage_w
+            + model.bpu.leakage_w
+            + model.other_leakage_w
+        )
+        assert total == pytest.approx(SERVER.core_leakage_w)
+
+    def test_gated_leakage_is_five_percent(self):
+        model = CorePowerModel(SERVER)
+        assert model.vpu_leakage_w(False) == pytest.approx(
+            0.05 * model.vpu.leakage_w
+        )
+        assert model.bpu_leakage_w(False) == pytest.approx(
+            0.05 * model.bpu.leakage_w
+        )
+
+    def test_mlc_way_leakage_interpolates(self):
+        model = CorePowerModel(SERVER)
+        full = model.mlc_leakage_w(8)
+        half = model.mlc_leakage_w(4)
+        one = model.mlc_leakage_w(1)
+        assert full == pytest.approx(model.mlc.leakage_w)
+        assert one < half < full
+        assert one > 0.05 * full  # one way still fully powered
+
+    def test_access_energy_scales_with_ways(self):
+        model = CorePowerModel(SERVER)
+        assert model.mlc_access_energy_j(1) < model.mlc_access_energy_j(8)
+
+    def test_small_bpu_lookup_cheaper(self):
+        model = CorePowerModel(SERVER)
+        assert model.bpu_lookup_energy_j(False) < model.bpu_lookup_energy_j(True)
+
+    def test_unknown_unit(self):
+        model = CorePowerModel(SERVER)
+        with pytest.raises(KeyError):
+            model.unit_peak_dynamic_w("fpu")
+
+
+class TestGatingOverhead:
+    def test_eq1_shape(self):
+        model = CorePowerModel(SERVER)
+        gating = GatingOverheadModel(SERVER, model)
+        expected = (
+            2.0 * 0.20 * gating.cycle_energy_j("vpu") * SERVER.switching_factor
+        )
+        assert gating.switch_energy_j("vpu") == pytest.approx(expected)
+
+    def test_mlc_costs_more_than_bpu(self):
+        model = CorePowerModel(SERVER)
+        gating = GatingOverheadModel(SERVER, model)
+        assert gating.switch_energy_j("mlc") > gating.switch_energy_j("bpu")
+
+    def test_latencies_from_design(self):
+        gating = GatingOverheadModel(SERVER, CorePowerModel(SERVER))
+        assert gating.switch_latency_cycles("mlc") == 50
+        assert gating.switch_latency_cycles("vpu") == 30
+        assert gating.switch_latency_cycles("bpu") == 20
+        with pytest.raises(KeyError):
+            gating.switch_latency_cycles("l1")
+
+
+class TestAccounting:
+    def test_full_power_run_leaks_at_core_rate(self):
+        core = CoreModel(SERVER)
+        accountant = EnergyAccounting(SERVER, core)
+        report = accountant.finalize(1e6)
+        assert report.avg_leakage_w == pytest.approx(SERVER.core_leakage_w, rel=1e-6)
+        assert report.vpu_on_frac == 1.0
+        assert report.mlc_way_residency == {8: 1.0}
+
+    def test_gated_run_leaks_less(self):
+        core = CoreModel(SERVER)
+        core.apply_vpu_state(False)
+        core.apply_bpu_state(False)
+        core.apply_mlc_state(1)
+        accountant = EnergyAccounting(SERVER, core)
+        report = accountant.finalize(1e6)
+        assert report.avg_leakage_w < SERVER.core_leakage_w * 0.7
+        assert report.vpu_gated_frac == 1.0
+        assert report.mlc_gated_frac(8) == 1.0
+
+    def test_switch_segments_split_residency(self):
+        core = CoreModel(SERVER)
+        accountant = EnergyAccounting(SERVER, core)
+        core.apply_vpu_state(False)
+        accountant.on_switch("vpu", False, 400_000.0)
+        report = accountant.finalize(1_000_000.0)
+        assert report.vpu_on_frac == pytest.approx(0.4)
+        assert report.switch_counts["vpu"] == 1
+        assert report.switch_overhead_j > 0
+
+    def test_dynamic_energy_attribution(self):
+        core = CoreModel(SERVER)
+        accountant = EnergyAccounting(SERVER, core)
+        core.vpu.execute(100)
+        core.counters.micro_ops += 1000
+        for i in range(50):
+            core.hierarchy.mlc.access(i * 64)
+        for i in range(50):
+            core.bpu.predict_and_update(0x10, True)
+        report = accountant.finalize(10_000.0)
+        assert report.unit_dynamic_j["vpu"] > 0
+        assert report.unit_dynamic_j["mlc"] > 0
+        assert report.unit_dynamic_j["bpu"] > 0
+        assert report.unit_dynamic_j["other"] > 0
+
+    def test_finalize_twice_rejected(self):
+        core = CoreModel(SERVER)
+        accountant = EnergyAccounting(SERVER, core)
+        accountant.finalize(100.0)
+        with pytest.raises(RuntimeError):
+            accountant.finalize(200.0)
+
+    def test_unknown_unit_switch(self):
+        accountant = EnergyAccounting(SERVER, CoreModel(SERVER))
+        with pytest.raises(KeyError):
+            accountant.on_switch("l1", True, 0.0)
+
+    def test_mobile_budget_smaller(self):
+        mobile_report = EnergyAccounting(MOBILE, CoreModel(MOBILE)).finalize(1e6)
+        server_report = EnergyAccounting(SERVER, CoreModel(SERVER)).finalize(1e6)
+        assert mobile_report.avg_leakage_w < server_report.avg_leakage_w

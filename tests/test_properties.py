@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.phases import manhattan_distance
+from repro.core.htb import HotTranslationBuffer
+from repro.core.policies import PolicyVector, decode_policy_bits, encode_policy_bits
+from repro.core.pvt import PolicyVectorTable
+from repro.core.signature import make_signature
+from repro.uarch.branch.predictors import BimodalPredictor, GSharePredictor
+from repro.uarch.cache.cache import SetAssocCache
+from repro.uarch.config import SERVER
+from repro.workloads.generator import AddressStream, MemoryBehavior
+
+# ---------------------------------------------------------------- signatures
+
+count_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=10_000),
+    max_size=40,
+)
+
+
+@given(counts=count_maps, length=st.integers(min_value=1, max_value=8))
+def test_signature_is_sorted_subset(counts, length):
+    sig = make_signature(counts, length)
+    assert list(sig) == sorted(sig)
+    assert len(sig) == min(length, len(counts))
+    assert set(sig) <= set(counts)
+
+
+@given(counts=count_maps)
+def test_signature_contains_the_hottest(counts):
+    sig = make_signature(counts, 4)
+    if counts:
+        hottest = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        assert any(counts[t] >= counts[hottest] for t in sig)
+
+
+@given(counts=count_maps, length=st.integers(min_value=1, max_value=8))
+def test_signature_permutation_invariant(counts, length):
+    items = list(counts.items())
+    shuffled = dict(reversed(items))
+    assert make_signature(counts, length) == make_signature(shuffled, length)
+
+
+# ----------------------------------------------------------------- manhattan
+
+
+@given(a=count_maps, b=count_maps)
+def test_manhattan_symmetry_and_identity(a, b):
+    assert manhattan_distance(a, b) == manhattan_distance(b, a)
+    assert manhattan_distance(a, a) == 0
+    assert manhattan_distance(a, b) >= 0
+
+
+@given(a=count_maps, b=count_maps, c=count_maps)
+def test_manhattan_triangle_inequality(a, b, c):
+    assert manhattan_distance(a, c) <= manhattan_distance(a, b) + manhattan_distance(
+        b, c
+    )
+
+
+# --------------------------------------------------------------------- cache
+
+
+@st.composite
+def address_traces(draw):
+    n_lines = draw(st.integers(min_value=1, max_value=64))
+    length = draw(st.integers(min_value=1, max_value=300))
+    return [
+        draw(st.integers(min_value=0, max_value=n_lines - 1)) * 64
+        for _ in range(length)
+    ]
+
+
+class _ReferenceLRU:
+    """Oracle: per-set OrderedDict-based LRU cache."""
+
+    def __init__(self, n_sets, ways, line=64):
+        self.n_sets = n_sets
+        self.ways = ways
+        self.line = line
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+
+    def access(self, addr):
+        line = addr // self.line
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            s.move_to_end(line)
+            return True
+        s[line] = True
+        if len(s) > self.ways:
+            s.popitem(last=False)
+        return False
+
+
+@given(trace=address_traces(), ways=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60)
+def test_cache_matches_reference_lru(trace, ways):
+    cache = SetAssocCache(ways * 4 * 64 / 1024, ways, 64, "sut")
+    oracle = _ReferenceLRU(cache.n_sets, ways)
+    for addr in trace:
+        assert cache.access(addr) == oracle.access(addr)
+
+
+@given(trace=address_traces())
+@settings(max_examples=40)
+def test_cache_hits_plus_misses_equals_accesses(trace):
+    cache = SetAssocCache(2, 2, 64, "sut")
+    for addr in trace:
+        cache.access(addr, is_write=addr % 128 == 0)
+    assert cache.hits + cache.misses == len(trace)
+    assert cache.resident_lines() <= cache.n_sets * cache.assoc
+
+
+@given(
+    trace=address_traces(),
+    ways_seq=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4),
+)
+@settings(max_examples=40)
+def test_way_gating_never_exceeds_active_capacity(trace, ways_seq):
+    cache = SetAssocCache(1, 4, 64, "sut")
+    for i, addr in enumerate(trace):
+        if i % 37 == 0:
+            cache.set_active_ways(ways_seq[i % len(ways_seq)])
+        cache.access(addr, is_write=addr % 192 == 0)
+        assert cache.resident_lines() <= cache.n_sets * cache.active_ways
+
+
+# --------------------------------------------------------------------- HTB
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=1, max_value=100),
+        ),
+        max_size=200,
+    )
+)
+def test_htb_occupancy_and_window_invariants(events):
+    htb = HotTranslationBuffer(n_entries=16, window_size=50)
+    for tid, n_instr in events:
+        completed = htb.record(tid, n_instr)
+        assert htb.occupancy <= 16
+        if completed:
+            sig = htb.signature(4)
+            assert len(sig) <= 4
+            htb.flush()
+            assert htb.window_executions == 0
+
+
+# --------------------------------------------------------------------- PVT
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=12), st.booleans()),
+        max_size=100,
+    )
+)
+def test_pvt_capacity_and_lru_consistency(ops):
+    pvt = PolicyVectorTable(4)
+    policy = PolicyVector(True, True, SERVER.mlc_assoc)
+    inserted = set()
+    for key, is_insert in ops:
+        sig = (key,)
+        if is_insert:
+            evicted = pvt.insert(sig, policy)
+            inserted.add(sig)
+            if evicted is not None:
+                inserted.discard(evicted[0])
+        else:
+            hit = pvt.lookup(sig)
+            assert (hit is not None) == (sig in inserted)
+        assert len(pvt) <= 4
+
+
+# ------------------------------------------------------------ policy vectors
+
+
+@given(
+    vpu=st.booleans(),
+    bpu=st.booleans(),
+    ways=st.sampled_from(SERVER.mlc_way_states),
+)
+def test_policy_encode_decode_roundtrip(vpu, bpu, ways):
+    policy = PolicyVector(vpu, bpu, ways)
+    assert decode_policy_bits(encode_policy_bits(policy, SERVER), SERVER) == policy
+
+
+# ------------------------------------------------------------ address stream
+
+
+@given(
+    ws_kb=st.floats(min_value=0.25, max_value=64),
+    stride=st.sampled_from([4, 8, 16, 64]),
+    n=st.integers(min_value=1, max_value=200),
+)
+def test_loop_stream_stays_in_working_set(ws_kb, stride, n):
+    behavior = MemoryBehavior(working_set_kb=ws_kb, pattern="loop", stride=stride)
+    stream = AddressStream(behavior, base=1 << 20)
+    top = (1 << 20) + max(int(ws_kb * 1024), stride)
+    for addr in stream.take(n):
+        assert (1 << 20) <= addr < top
+
+
+# ---------------------------------------------------------------- predictors
+
+
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=300))
+def test_bimodal_predictions_always_boolean(outcomes):
+    predictor = BimodalPredictor(64)
+    for taken in outcomes:
+        assert isinstance(predictor.predict(0x40), bool)
+        predictor.update(0x40, taken)
+
+
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=300))
+def test_gshare_ghr_tracks_outcomes(outcomes):
+    predictor = GSharePredictor(history_bits=8, n_counters=256)
+    for taken in outcomes:
+        predictor.update(0x10, taken)
+    expected = 0
+    for taken in outcomes:
+        expected = ((expected << 1) | int(taken)) & 0xFF
+    assert predictor.ghr == expected

@@ -1,0 +1,116 @@
+"""Tests for the Policy Vector Table and policy-vector encoding."""
+
+import pytest
+
+from repro.core.policies import (
+    PolicyVector,
+    decode_policy_bits,
+    encode_policy_bits,
+    full_power_policy,
+    min_power_policy,
+)
+from repro.core.pvt import PolicyVectorTable
+from repro.uarch.config import MOBILE, SERVER
+
+
+class TestPolicyVector:
+    def test_full_and_min(self):
+        full = full_power_policy(SERVER)
+        minimal = min_power_policy(SERVER)
+        assert full == PolicyVector(True, True, 8)
+        assert minimal == PolicyVector(False, False, 1)
+
+    def test_validate_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            PolicyVector(True, True, 3).validate(SERVER)
+
+    @pytest.mark.parametrize("design", [SERVER, MOBILE])
+    def test_encode_decode_roundtrip(self, design):
+        one, half, full = design.mlc_way_states
+        for vpu in (True, False):
+            for bpu in (True, False):
+                for ways in (one, half, full):
+                    policy = PolicyVector(vpu, bpu, ways)
+                    bits = encode_policy_bits(policy, design)
+                    assert 0 <= bits <= 0b1111
+                    assert decode_policy_bits(bits, design) == policy
+
+    def test_figure6_examples(self):
+        # Figure 6(b): "V=1, B=0, M=01" and "V=0, B=0, M=11"
+        assert decode_policy_bits(0b1001, SERVER) == PolicyVector(True, False, 4)
+        assert decode_policy_bits(0b0011, SERVER) == PolicyVector(False, False, 8)
+
+    def test_extended_quarter_ways_encoding(self):
+        # M=10 (reserved in the paper's 3-state policy) carries the
+        # extended policy's quarter-ways state.
+        quarter = SERVER.mlc_way_states_extended[1]
+        policy = PolicyVector(True, True, quarter)
+        assert encode_policy_bits(policy, SERVER) == 0b1110
+        assert decode_policy_bits(0b0010, SERVER).mlc_ways == quarter
+
+    def test_extended_roundtrip(self):
+        for ways in SERVER.mlc_way_states_extended:
+            policy = PolicyVector(False, True, ways)
+            bits = encode_policy_bits(policy, SERVER)
+            assert decode_policy_bits(bits, SERVER) == policy
+
+    def test_bits_range_checked(self):
+        with pytest.raises(ValueError):
+            decode_policy_bits(16, SERVER)
+
+
+class TestPVT:
+    def _pvt(self, n=4):
+        return PolicyVectorTable(n)
+
+    def test_miss_then_hit(self):
+        pvt = self._pvt()
+        policy = full_power_policy(SERVER)
+        assert pvt.lookup((1, 2, 3, 4)) is None
+        pvt.insert((1, 2, 3, 4), policy)
+        assert pvt.lookup((1, 2, 3, 4)) == policy
+        assert (pvt.hits, pvt.misses) == (1, 1)
+
+    def test_lru_eviction_returns_victim(self):
+        pvt = self._pvt(2)
+        a, b, c = (1,), (2,), (3,)
+        policy = full_power_policy(SERVER)
+        pvt.insert(a, policy)
+        pvt.insert(b, policy)
+        pvt.lookup(a)  # refresh a
+        evicted = pvt.insert(c, policy)
+        assert evicted == (b, policy)
+        assert a in pvt and c in pvt and b not in pvt
+        assert pvt.evictions == 1
+
+    def test_reinsert_updates_in_place(self):
+        pvt = self._pvt(2)
+        policy1 = full_power_policy(SERVER)
+        policy2 = min_power_policy(SERVER)
+        pvt.insert((1,), policy1)
+        assert pvt.insert((1,), policy2) is None
+        assert pvt.lookup((1,)) == policy2
+        assert len(pvt) == 1
+
+    def test_capacity_bound(self):
+        pvt = self._pvt(3)
+        policy = full_power_policy(SERVER)
+        for i in range(10):
+            pvt.insert((i,), policy)
+        assert len(pvt) == 3
+
+    def test_miss_rate(self):
+        pvt = self._pvt()
+        pvt.lookup((1,))
+        pvt.insert((1,), full_power_policy(SERVER))
+        pvt.lookup((1,))
+        assert pvt.miss_rate == 0.5
+
+    def test_paper_storage(self):
+        pvt = PolicyVectorTable()
+        assert pvt.n_entries == 16
+        assert pvt.storage_bytes == 264  # paper §IV-B4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolicyVectorTable(0)

@@ -1,0 +1,88 @@
+"""Regression tests for the region topology properties PowerChop needs.
+
+Phase signatures are only stable if block execution frequencies are both
+*skewed* (a hottest-N set exists) and *generically untied* (ranks do not
+flip between windows).  These tests pin the RegionBuilder properties that
+deliver that — the fixes behind the signature-stability work recorded in
+DESIGN.md §4.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.isa.branches import GlobalHistory
+from repro.workloads.generator import RegionBuilder
+from repro.workloads.mixes import ALL_MIXES, PREDICTABLE
+
+
+def build_region(mix, seed=0, n_blocks=32):
+    rng = random.Random(seed)
+    builder = RegionBuilder(rng, pc_base=0x400000)
+    return builder.build(
+        region_id=0,
+        n_blocks=n_blocks,
+        avg_block_size=12,
+        mem_frac=0.3,
+        store_frac=0.3,
+        vector_frac=0.0,
+        vector_style="none",
+        branch_mix=dict(mix),
+        bias=0.92,
+    )
+
+
+def visit_counts(region, n_steps=30_000):
+    history = GlobalHistory()
+    counts = Counter()
+    idx = region.entry
+    for _ in range(n_steps):
+        block = region.blocks[idx]
+        counts[idx] += 1
+        idx, _taken = block.next_block(history)
+    return counts
+
+
+@pytest.mark.parametrize("mix_name", sorted(ALL_MIXES))
+def test_frequencies_are_skewed(mix_name):
+    """The hottest blocks must clearly dominate (90/10-style skew)."""
+    region = build_region(ALL_MIXES[mix_name], seed=3)
+    counts = visit_counts(region)
+    ordered = [c for _i, c in counts.most_common()]
+    top_quarter = sum(ordered[: max(1, len(ordered) // 4)])
+    assert top_quarter / sum(ordered) > 0.45
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_hot_set_stable_across_windows(seed):
+    """The identity of the hottest blocks must not flip window to window."""
+    region = build_region(PREDICTABLE, seed=seed)
+    history = GlobalHistory()
+    idx = region.entry
+    windows = []
+    for _window in range(6):
+        counts = Counter()
+        for _ in range(5_000):
+            block = region.blocks[idx]
+            counts[idx] += block.n_instr
+            idx, _taken = block.next_block(history)
+        windows.append({i for i, _c in counts.most_common(4)})
+    # Skip the first (warmup) window; the rest must agree on a core of at
+    # least 2 of the 4 hottest blocks.  (Single-slot wobble is expected —
+    # the CDE's signature-variant inheritance absorbs it, DESIGN.md §4 —
+    # but a wholesale reshuffle would defeat phase recognition.)
+    reference = windows[1]
+    for window in windows[2:]:
+        assert len(window & reference) >= 2, (reference, windows)
+
+
+def test_all_blocks_reachable_or_dead_is_bounded():
+    """Skew must not degenerate into almost all of the region being dead."""
+    region = build_region(PREDICTABLE, seed=9)
+    counts = visit_counts(region)
+    visited = sum(1 for count in counts.values() if count > 0)
+    # Kernel-dominated seeds legitimately concentrate execution in a few
+    # blocks (exactly the 90/10 skew signatures rely on), but enough
+    # distinct blocks must stay live to form a 4-translation signature.
+    assert visited >= 4

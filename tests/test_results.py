@@ -1,0 +1,102 @@
+"""Tests for result records and comparison metrics."""
+
+import pytest
+
+from repro.power.accounting import EnergyReport
+from repro.sim.results import (
+    SimulationResult,
+    energy_reduction,
+    leakage_reduction,
+    power_reduction,
+    slowdown,
+)
+
+
+def report(leakage=1.0, dynamic=1.0, seconds=1.0, switch=0.0):
+    return EnergyReport(
+        cycles=seconds * 1e9,
+        seconds=seconds,
+        leakage_j=leakage,
+        dynamic_j=dynamic,
+        switch_overhead_j=switch,
+        unit_leakage_j={},
+        unit_dynamic_j={},
+        vpu_on_frac=1.0,
+        bpu_on_frac=1.0,
+        mlc_way_residency={8: 1.0},
+    )
+
+
+def result(cycles=1000.0, instructions=1000, energy=None, **kwargs):
+    return SimulationResult(
+        benchmark="bench",
+        suite="test",
+        design="server",
+        mode="full",
+        cycles=cycles,
+        instructions=instructions,
+        energy=energy or report(),
+        **kwargs,
+    )
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert result(cycles=500.0, instructions=1000).ipc == 2.0
+        assert result(cycles=0.0).ipc == 0.0
+
+    def test_mispredict_rate(self):
+        r = result(branches=100, mispredicts=7)
+        assert r.mispredict_rate == pytest.approx(0.07)
+        assert result().mispredict_rate == 0.0
+
+    def test_mlc_hit_rate(self):
+        r = result(mlc_hits=30, mlc_misses=70)
+        assert r.mlc_hit_rate == pytest.approx(0.3)
+
+    def test_pvt_miss_rate(self):
+        r = result(pvt_misses=5, translation_executions=1000)
+        assert r.pvt_miss_rate_per_translation == pytest.approx(0.005)
+        assert result().pvt_miss_rate_per_translation == 0.0
+
+    def test_switches_per_million_cycles(self):
+        r = result(cycles=2_000_000.0, switch_counts={"vpu": 4})
+        assert r.switches_per_million_cycles("vpu") == pytest.approx(2.0)
+        assert r.switches_per_million_cycles("mlc") == 0.0
+
+
+class TestComparisons:
+    def test_slowdown(self):
+        base = result(cycles=1000.0)
+        other = result(cycles=1100.0)
+        assert slowdown(base, other) == pytest.approx(0.10)
+
+    def test_power_reduction(self):
+        base = result(energy=report(leakage=2.0, dynamic=2.0))
+        other = result(energy=report(leakage=1.0, dynamic=1.0))
+        assert power_reduction(base, other) == pytest.approx(0.5)
+
+    def test_energy_reduction_accounts_for_time(self):
+        base = result(energy=report(leakage=1.0, dynamic=1.0, seconds=1.0))
+        # Same power, 10% longer -> 10% more energy -> negative reduction.
+        other = result(
+            cycles=1100.0, energy=report(leakage=1.1, dynamic=1.1, seconds=1.1)
+        )
+        assert energy_reduction(base, other) == pytest.approx(-0.1)
+
+    def test_leakage_reduction(self):
+        base = result(energy=report(leakage=2.0))
+        other = result(energy=report(leakage=1.5))
+        assert leakage_reduction(base, other) == pytest.approx(0.25)
+
+    def test_mismatched_workloads_rejected(self):
+        base = result()
+        other = result()
+        other.benchmark = "other"
+        with pytest.raises(ValueError):
+            slowdown(base, other)
+
+    def test_switch_overhead_in_total(self):
+        r = report(leakage=1.0, dynamic=1.0, switch=0.5)
+        assert r.total_j == pytest.approx(2.5)
+        assert r.avg_power_w == pytest.approx(2.5)

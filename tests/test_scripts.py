@@ -1,0 +1,43 @@
+"""Smoke tests for the repository scripts."""
+
+import runpy
+import sys
+
+import pytest
+
+
+class TestProfileSimulator:
+    def test_throughput_helper(self):
+        sys.path.insert(0, "scripts")
+        try:
+            import profile_simulator
+        finally:
+            sys.path.pop(0)
+        from repro.sim.simulator import GatingMode
+
+        rate = profile_simulator.throughput("hmmer", 100_000, GatingMode.FULL)
+        assert rate > 10_000  # anything slower means the hot loop regressed
+
+    def test_main_runs(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            sys, "argv", ["profile_simulator.py", "hmmer", "100000"]
+        )
+        runpy.run_path("scripts/profile_simulator.py", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "guest-instructions/s" in out
+        assert "powerchop" in out
+
+
+class TestGenerateExperimentsScript:
+    def test_experiment_list_importable(self):
+        sys.path.insert(0, "scripts")
+        try:
+            import generate_experiments_md as gen
+        finally:
+            sys.path.pop(0)
+        ids = [eid for eid, _claim, _run in gen.EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+        assert "fig12" in ids and "headline" in ids
+        for _eid, claim, runner in gen.EXPERIMENTS:
+            assert callable(runner)
+            assert claim

@@ -1,0 +1,87 @@
+"""Tests for phase signatures and the Hot Translation Buffer."""
+
+import pytest
+
+from repro.core.htb import HotTranslationBuffer
+from repro.core.signature import make_signature
+
+
+class TestSignature:
+    def test_hottest_selected(self):
+        counts = {1: 100, 2: 5, 3: 80, 4: 60, 5: 70, 6: 1}
+        assert make_signature(counts, 4) == (1, 3, 4, 5)
+
+    def test_sorted_output(self):
+        counts = {9: 10, 2: 20, 7: 30}
+        sig = make_signature(counts, 3)
+        assert sig == tuple(sorted(sig))
+
+    def test_tie_broken_by_tid(self):
+        counts = {5: 10, 3: 10, 8: 10, 1: 10, 9: 10}
+        assert make_signature(counts, 4) == (1, 3, 5, 8)
+
+    def test_short_window(self):
+        assert make_signature({7: 3}, 4) == (7,)
+
+    def test_empty(self):
+        assert make_signature({}, 4) == ()
+
+    def test_order_insensitive_identity(self):
+        a = make_signature({1: 50, 2: 40, 3: 30, 4: 20}, 4)
+        b = make_signature({4: 21, 3: 29, 2: 41, 1: 52}, 4)
+        assert a == b
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            make_signature({1: 1}, 0)
+
+
+class TestHTB:
+    def test_window_completion(self):
+        htb = HotTranslationBuffer(n_entries=8, window_size=3)
+        assert htb.record(1, 10) is False
+        assert htb.record(2, 10) is False
+        assert htb.record(1, 10) is True
+
+    def test_instruction_weighted_hotness(self):
+        htb = HotTranslationBuffer(n_entries=8, window_size=100)
+        htb.record(1, 5)
+        htb.record(2, 50)  # fewer executions but more instructions
+        htb.record(1, 5)
+        assert htb.signature(1) == (2,)
+
+    def test_overflow_ignored(self):
+        htb = HotTranslationBuffer(n_entries=2, window_size=100)
+        htb.record(1, 10)
+        htb.record(2, 10)
+        htb.record(3, 10)  # no room: ignored (paper behaviour)
+        assert htb.occupancy == 2
+        assert htb.overflowed == 1
+        assert 3 not in htb.translation_vector()
+
+    def test_flush(self):
+        htb = HotTranslationBuffer(n_entries=8, window_size=10)
+        htb.record(1, 10)
+        htb.flush()
+        assert htb.occupancy == 0
+        assert htb.window_executions == 0
+        assert htb.windows_completed == 1
+
+    def test_execution_vector(self):
+        htb = HotTranslationBuffer(n_entries=8, window_size=100)
+        for _ in range(3):
+            htb.record(7, 10)
+        htb.record(9, 100)
+        assert htb.translation_vector() == {7: 3, 9: 1}
+
+    def test_paper_storage(self):
+        htb = HotTranslationBuffer()
+        assert htb.storage_bytes == 1024  # 1KB (paper §IV-B4)
+        assert htb.n_entries == 128
+        assert htb.window_size == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotTranslationBuffer(n_entries=0)
+        with pytest.raises(ValueError):
+            HotTranslationBuffer(window_size=0)

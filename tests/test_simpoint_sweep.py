@@ -1,0 +1,82 @@
+"""Tests for SimPoint region selection and parameter sweeps."""
+
+import pytest
+
+from repro.sim.simpoint import select_simpoints
+from repro.sim.sweep import (
+    sweep_powerchop_thresholds,
+    sweep_signature_lengths,
+    sweep_timeout_periods,
+    sweep_window_sizes,
+)
+from repro.uarch.config import SERVER
+from repro.workloads.profiles import build_workload
+
+
+class TestSimPoint:
+    def test_weights_sum_to_one(self, tiny_profile):
+        workload = build_workload(tiny_profile)
+        simpoints = select_simpoints(
+            workload, interval_instructions=20_000, max_instructions=300_000, k=3
+        )
+        assert simpoints
+        assert sum(sp.weight for sp in simpoints) == pytest.approx(1.0)
+
+    def test_representatives_in_range(self, tiny_profile):
+        workload = build_workload(tiny_profile)
+        simpoints = select_simpoints(
+            workload, interval_instructions=20_000, max_instructions=200_000, k=2
+        )
+        n_intervals = 200_000 // 20_000
+        for sp in simpoints:
+            assert 0 <= sp.interval_index <= n_intervals
+            assert sp.start_instruction == sp.interval_index * 20_000
+
+    def test_phased_workload_yields_multiple_clusters(self, tiny_profile):
+        workload = build_workload(tiny_profile)
+        simpoints = select_simpoints(
+            workload, interval_instructions=25_000, max_instructions=400_000, k=4
+        )
+        assert len(simpoints) >= 2  # two phases -> at least two clusters
+
+    def test_deterministic(self, tiny_profile):
+        a = select_simpoints(build_workload(tiny_profile), 20_000, 200_000, k=3)
+        b = select_simpoints(build_workload(tiny_profile), 20_000, 200_000, k=3)
+        assert a == b
+
+    def test_validation(self, tiny_profile):
+        workload = build_workload(tiny_profile)
+        with pytest.raises(ValueError):
+            select_simpoints(workload, 0)
+
+
+class TestSweeps:
+    def test_threshold_sweep_monotone_gating(self, tiny_profile):
+        records = sweep_powerchop_thresholds(
+            SERVER, tiny_profile, (0.0001, 0.9), max_instructions=250_000
+        )
+        assert len(records) == 2
+        # A near-1.0 threshold must gate the VPU at least as much as a
+        # near-zero threshold.
+        assert records[1]["vpu_gated_frac"] >= records[0]["vpu_gated_frac"]
+
+    def test_window_sweep_records_miss_rate(self, tiny_profile):
+        records = sweep_window_sizes(
+            SERVER, tiny_profile, (100, 400), max_instructions=200_000
+        )
+        assert all("pvt_miss_rate" in r for r in records)
+
+    def test_signature_sweep(self, tiny_profile):
+        records = sweep_signature_lengths(
+            SERVER, tiny_profile, (2, 4), max_instructions=200_000
+        )
+        assert [r["label"] for r in records] == [
+            "signature_length=2",
+            "signature_length=4",
+        ]
+
+    def test_timeout_sweep_gating_decreases_with_period(self, tiny_profile):
+        records = sweep_timeout_periods(
+            SERVER, tiny_profile, (500.0, 500_000.0), max_instructions=250_000
+        )
+        assert records[0]["vpu_gated_frac"] >= records[1]["vpu_gated_frac"]

@@ -1,0 +1,134 @@
+"""Additional simulator-mode coverage: managed-unit subsets, edge cases."""
+
+import pytest
+
+from repro.core.config import PowerChopConfig
+from repro.sim.simulator import GatingMode, HybridSimulator, run_simulation
+from repro.uarch.config import SERVER
+from repro.workloads.profiles import build_workload
+
+N = 250_000
+
+
+def run_managed(tiny_profile, managed, n=N):
+    config = PowerChopConfig(
+        window_size=200, warmup_windows=2, managed_units=managed
+    )
+    return run_simulation(
+        SERVER,
+        tiny_profile,
+        GatingMode.POWERCHOP,
+        max_instructions=n,
+        powerchop_config=config,
+    )
+
+
+class TestManagedSubsets:
+    def test_vpu_only_never_touches_others(self, tiny_profile):
+        result = run_managed(tiny_profile, ("vpu",))
+        assert result.energy.bpu_gated_frac == 0.0
+        assert result.energy.mlc_way_residency == {SERVER.mlc_assoc: 1.0}
+        assert result.switch_counts["bpu"] == 0
+        assert result.switch_counts["mlc"] == 0
+
+    def test_bpu_only(self, tiny_profile):
+        result = run_managed(tiny_profile, ("bpu",))
+        assert result.energy.vpu_gated_frac == 0.0
+        assert result.switch_counts["vpu"] == 0
+
+    def test_mlc_only(self, tiny_profile):
+        result = run_managed(tiny_profile, ("mlc",))
+        assert result.energy.vpu_gated_frac == 0.0
+        assert result.energy.bpu_gated_frac == 0.0
+
+    def test_single_unit_profiling_faster(self, tiny_profile):
+        """Without the BPU, profiling needs one window instead of two."""
+        vpu_only = run_managed(tiny_profile, ("vpu",))
+        assert vpu_only.new_phases > 0
+
+    def test_invalid_managed_units(self):
+        with pytest.raises(ValueError):
+            PowerChopConfig(managed_units=("fpu",))
+        with pytest.raises(ValueError):
+            PowerChopConfig(managed_units=())
+
+
+class TestConfigValidation:
+    def test_window_and_signature_bounds(self):
+        with pytest.raises(ValueError):
+            PowerChopConfig(window_size=0)
+        with pytest.raises(ValueError):
+            PowerChopConfig(signature_length=0)
+        with pytest.raises(ValueError):
+            PowerChopConfig(htb_entries=2, signature_length=4)
+        with pytest.raises(ValueError):
+            PowerChopConfig(pvt_entries=0)
+        with pytest.raises(ValueError):
+            PowerChopConfig(cde_interrupt_cycles=-1.0)
+
+    def test_defaults_are_papers(self):
+        config = PowerChopConfig()
+        assert config.window_size == 1000
+        assert config.signature_length == 4
+        assert config.htb_entries == 128
+        assert config.pvt_entries == 16
+
+
+class TestTimeoutEdges:
+    def test_long_timeout_never_gates(self, tiny_profile):
+        result = run_simulation(
+            SERVER,
+            tiny_profile,
+            GatingMode.TIMEOUT,
+            max_instructions=N,
+            timeout_cycles=1e9,
+        )
+        assert result.energy.vpu_gated_frac == 0.0
+
+    def test_short_timeout_gates_more(self, tiny_profile):
+        lax = run_simulation(
+            SERVER, tiny_profile, GatingMode.TIMEOUT,
+            max_instructions=N, timeout_cycles=200_000,
+        )
+        eager = run_simulation(
+            SERVER, tiny_profile, GatingMode.TIMEOUT,
+            max_instructions=N, timeout_cycles=2_000,
+        )
+        assert eager.energy.vpu_gated_frac >= lax.energy.vpu_gated_frac
+
+    def test_timeout_switch_counts_tracked(self, tiny_profile):
+        result = run_simulation(
+            SERVER, tiny_profile, GatingMode.TIMEOUT,
+            max_instructions=N, timeout_cycles=5_000,
+        )
+        assert result.switch_counts["vpu"] >= 1
+
+
+class TestPrefetchIntegration:
+    def test_streaming_profile_benefits_from_prefetcher(self):
+        import dataclasses
+
+        from repro.workloads.generator import MemoryBehavior
+        from repro.workloads.mixes import PREDICTABLE
+        from repro.workloads.profiles import BenchmarkProfile, PhaseDecl, RegionSpec
+
+        profile = BenchmarkProfile(
+            name="streamer",
+            suite="test",
+            phases=(
+                PhaseDecl(
+                    name="s",
+                    region=RegionSpec(n_blocks=8, branch_mix=PREDICTABLE, mem_frac=0.4),
+                    memory=MemoryBehavior(working_set_kb=8192, pattern="stream"),
+                    blocks=20_000,
+                ),
+            ),
+            schedule=("s",),
+            seed=3,
+        )
+        with_pf = run_simulation(SERVER, profile, GatingMode.FULL, 150_000)
+        no_pf_design = dataclasses.replace(SERVER, prefetch_streams=0)
+        workload = build_workload(profile)
+        no_pf = HybridSimulator(no_pf_design, workload, GatingMode.FULL).run(150_000)
+        assert with_pf.ipc > no_pf.ipc * 1.3
+        assert with_pf.extra["prefetch_covered"] > 0

@@ -1,0 +1,68 @@
+"""Tests for the HW-only timeout VPU-gating baseline (§V-E)."""
+
+import pytest
+
+from repro.core.timeout import TimeoutVPUController
+from repro.isa.blocks import BasicBlock, BlockExec
+from repro.isa.instructions import InstructionMix
+from repro.uarch.config import SERVER
+from repro.uarch.core import CoreModel
+
+
+def block_exec(vector=0):
+    mix = InstructionMix(scalar=5, vector=vector, has_branch=False)
+    block = BasicBlock(0x100, mix, None)
+    return BlockExec(block, False, ())
+
+
+def make_controller(timeout=1000.0):
+    core = CoreModel(SERVER)
+    return TimeoutVPUController(SERVER, core, timeout), core
+
+
+class TestTimeout:
+    def test_gates_off_after_idle_period(self):
+        controller, core = make_controller(timeout=1000)
+        assert controller.on_block(block_exec(), 0.0) == 0.0
+        assert core.states.vpu_on is True
+        cycles = controller.on_block(block_exec(), 2000.0)
+        assert core.states.vpu_on is False
+        assert cycles == SERVER.vpu_switch_cycles + SERVER.vpu_save_restore_cycles
+        assert controller.gate_offs == 1
+
+    def test_stays_on_with_frequent_vector_ops(self):
+        controller, core = make_controller(timeout=1000)
+        for now in range(0, 10_000, 500):  # vector op every 500 cycles
+            controller.on_block(block_exec(vector=1), float(now))
+        assert core.states.vpu_on is True
+        assert controller.gate_offs == 0
+
+    def test_reactive_wakeup_on_vector_op(self):
+        controller, core = make_controller(timeout=1000)
+        controller.on_block(block_exec(), 5000.0)  # idle -> gated off
+        assert core.states.vpu_on is False
+        cycles = controller.on_block(block_exec(vector=2), 6000.0)
+        assert core.states.vpu_on is True
+        assert cycles > 0
+        assert controller.gate_ons == 1
+
+    def test_wakeup_precedes_execution(self):
+        """A vector block arriving at a gated VPU must execute natively."""
+        controller, core = make_controller(timeout=100)
+        controller.on_block(block_exec(), 1_000.0)
+        assert core.states.vpu_on is False
+        exec_ = block_exec(vector=1)
+        controller.on_block(exec_, 2_000.0)
+        core.execute_block(exec_, interpreting=False)
+        assert core.vpu.emulated_ops == 0  # never emulated under timeout
+        assert core.vpu.native_ops == 1
+
+    def test_no_gating_before_timeout(self):
+        controller, core = make_controller(timeout=10_000)
+        controller.on_block(block_exec(), 5_000.0)
+        assert core.states.vpu_on is True
+
+    def test_validation(self):
+        core = CoreModel(SERVER)
+        with pytest.raises(ValueError):
+            TimeoutVPUController(SERVER, core, timeout_cycles=0)

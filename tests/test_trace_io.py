@@ -1,0 +1,64 @@
+"""Tests for trace export/replay."""
+
+import io
+
+import pytest
+
+from repro.uarch.config import SERVER
+from repro.uarch.core import CoreModel
+from repro.workloads.profiles import build_workload
+from repro.workloads.trace_io import (
+    export_trace,
+    load_trace,
+    replay_through_core,
+)
+
+
+@pytest.fixture
+def trace_text(tiny_profile):
+    workload = build_workload(tiny_profile)
+    buffer = io.StringIO()
+    count = export_trace(workload, buffer, max_instructions=40_000)
+    assert count > 0
+    buffer.seek(0)
+    return buffer
+
+
+class TestRoundTrip:
+    def test_header_preserved(self, trace_text):
+        trace = load_trace(trace_text)
+        assert trace.name == "tiny"
+        assert trace.suite == "test"
+
+    def test_event_stream_matches_original(self, tiny_profile, trace_text):
+        trace = load_trace(trace_text)
+        original = [
+            (be.block.pc, be.taken, tuple(be.addresses))
+            for be in build_workload(tiny_profile).trace(40_000)
+        ]
+        replayed = [
+            (be.block.pc, be.taken, tuple(be.addresses)) for be in trace
+        ]
+        assert replayed == original
+
+    def test_instruction_totals_match(self, tiny_profile, trace_text):
+        trace = load_trace(trace_text)
+        original_total = sum(
+            be.block.n_instr for be in build_workload(tiny_profile).trace(40_000)
+        )
+        assert trace.total_instructions == original_total
+
+    def test_replay_through_core_deterministic(self, trace_text):
+        trace = load_trace(trace_text)
+        a = replay_through_core(trace, CoreModel(SERVER))
+        b = replay_through_core(trace, CoreModel(SERVER))
+        assert a == b > 0
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            load_trace(io.StringIO("not a trace\n"))
+
+    def test_bad_line_rejected(self):
+        buffer = io.StringIO("# repro-trace v1 x y\nZ what\n")
+        with pytest.raises(ValueError):
+            load_trace(buffer)

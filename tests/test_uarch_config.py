@@ -1,0 +1,105 @@
+"""Tests for the architectural design points (Table I)."""
+
+import dataclasses
+
+import pytest
+
+from repro.uarch.config import (
+    MOBILE,
+    SERVER,
+    BPUParams,
+    DesignPoint,
+    design_by_name,
+    design_for_suite,
+)
+
+
+class TestTableI:
+    """Values the paper pins down in Table I."""
+
+    def test_server_mlc(self):
+        assert SERVER.mlc_kb == 1024
+        assert SERVER.mlc_assoc == 8
+        assert SERVER.mlc_area_frac == 0.35
+
+    def test_server_gated_mlc_configs(self):
+        one, half, full = SERVER.mlc_way_states
+        assert SERVER.mlc_kb * half / full == 512  # 512KB 4-way
+        assert SERVER.mlc_kb * one / full == 128  # 128KB 1-way
+
+    def test_mobile_mlc(self):
+        assert MOBILE.mlc_kb == 2048
+        assert MOBILE.mlc_area_frac == 0.60
+        one, half, full = MOBILE.mlc_way_states
+        assert MOBILE.mlc_kb * half / full == 1024
+        assert MOBILE.mlc_kb * one / full == 256
+
+    def test_vpu_widths_and_areas(self):
+        assert SERVER.vpu_width == 4
+        assert SERVER.vpu_area_frac == 0.20
+        assert MOBILE.vpu_width == 2
+        assert MOBILE.vpu_area_frac == 0.18
+
+    def test_bpu_areas_and_btbs(self):
+        assert SERVER.bpu_area_frac == 0.04
+        assert SERVER.bpu.large_btb_entries == 4096
+        assert SERVER.bpu.small_btb_entries == 1024
+        assert MOBILE.bpu_area_frac == 0.03
+        assert MOBILE.bpu.large_btb_entries == 2048
+        assert MOBILE.bpu.small_btb_entries == 512
+
+    def test_chooser_sizes(self):
+        assert SERVER.bpu.large_chooser_entries == 16384
+        assert MOBILE.bpu.large_chooser_entries == 8192
+
+    def test_gating_overheads(self):
+        for design in (SERVER, MOBILE):
+            assert design.mlc_switch_cycles == 50
+            assert design.vpu_switch_cycles == 30
+            assert design.bpu_switch_cycles == 20
+            assert design.vpu_save_restore_cycles == 500
+
+    def test_gated_leakage_five_percent(self):
+        assert SERVER.gated_leakage_frac == 0.05
+
+    def test_sleep_transistor_worst_case(self):
+        assert SERVER.sleep_transistor_ratio == 0.20
+
+
+class TestLookup:
+    def test_by_short_name(self):
+        assert design_by_name("server") is SERVER
+        assert design_by_name("mobile") is MOBILE
+
+    def test_by_full_name(self):
+        assert design_by_name(SERVER.name) is SERVER
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            design_by_name("gpu")
+
+    def test_suite_pairing(self):
+        assert design_for_suite("MobileBench") is MOBILE
+        assert design_for_suite("SPEC-INT") is SERVER
+        assert design_for_suite("PARSEC") is SERVER
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SERVER, kind="tablet")
+
+    def test_bad_stall_factor(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SERVER, memory_stall_factor=0.0)
+
+    def test_bad_issue_width(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SERVER, issue_width=0)
+
+    def test_frequency_hz(self):
+        assert SERVER.frequency_hz == pytest.approx(2.66e9)
+
+    def test_llc_presence(self):
+        assert SERVER.has_llc
+        assert not MOBILE.has_llc

@@ -1,0 +1,108 @@
+"""Tests for the VPU model and the core timing model."""
+
+import pytest
+
+from repro.isa.blocks import BasicBlock, BlockExec
+from repro.isa.branches import BiasedBranch, StaticBranch
+from repro.isa.instructions import InstructionMix
+from repro.uarch.config import MOBILE, SERVER
+from repro.uarch.core import CoreModel
+from repro.uarch.vpu import VectorUnit
+
+
+class TestVectorUnit:
+    def test_native_execution(self):
+        vpu = VectorUnit(width=4, emulation_factor=8)
+        assert vpu.execute(5) == 0
+        assert vpu.native_ops == 5
+
+    def test_emulated_execution(self):
+        vpu = VectorUnit(width=4, emulation_factor=8)
+        vpu.gate_off()
+        assert vpu.execute(3) == 3 * 7
+        assert vpu.emulated_ops == 3
+        assert vpu.native_ops == 0
+
+    def test_gate_cycle(self):
+        vpu = VectorUnit(2, 6)
+        vpu.gate_off()
+        vpu.gate_on()
+        assert vpu.gated_on
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorUnit(0, 8)
+        with pytest.raises(ValueError):
+            VectorUnit(4, 0)
+        vpu = VectorUnit(4, 8)
+        with pytest.raises(ValueError):
+            vpu.execute(-1)
+
+
+def make_exec(scalar=7, vector=0, loads=2, taken=False, addresses=(0x0, 0x40)):
+    mix = InstructionMix(scalar=scalar, vector=vector, loads=loads, has_branch=True)
+    branch = StaticBranch(pc=0x1000, model=BiasedBranch(0.5))
+    block = BasicBlock(0x1000, mix, branch)
+    return BlockExec(block, taken, addresses[: mix.memory_ops])
+
+
+class TestCoreModel:
+    def test_issue_limited_cycles(self):
+        core = CoreModel(SERVER)
+        # No memory, no vector; branch may mispredict/redirect.
+        mix = InstructionMix(scalar=8, has_branch=False)
+        block = BasicBlock(0x2000, mix, None)
+        cycles = core.execute_block(BlockExec(block, False, ()), interpreting=False)
+        assert cycles == pytest.approx(8 / SERVER.issue_width)
+
+    def test_interpretation_penalty(self):
+        core = CoreModel(SERVER)
+        mix = InstructionMix(scalar=8, has_branch=False)
+        block = BasicBlock(0x2000, mix, None)
+        cycles = core.execute_block(BlockExec(block, False, ()), interpreting=True)
+        assert cycles == pytest.approx(8 * SERVER.interpreter_cpi)
+
+    def test_counters_accumulate(self):
+        core = CoreModel(SERVER)
+        core.execute_block(make_exec(), interpreting=False)
+        counters = core.counters
+        assert counters.instructions == 10
+        assert counters.branches == 1
+        assert counters.memory_ops == 2
+
+    def test_vector_emulation_expands_micro_ops(self):
+        core = CoreModel(SERVER)
+        core.apply_vpu_state(False)
+        exec_ = make_exec(vector=2)
+        core.execute_block(exec_, interpreting=False)
+        expected = exec_.block.n_instr + 2 * (SERVER.vpu_emulation_factor - 1)
+        assert core.counters.micro_ops == expected
+        assert core.counters.simd_instructions == 2
+
+    def test_memory_stall_charged(self):
+        core = CoreModel(SERVER)
+        warm = CoreModel(SERVER)
+        cold_cycles = core.execute_block(make_exec(), interpreting=False)
+        warm.execute_block(make_exec(), interpreting=False)
+        warm_cycles = warm.execute_block(make_exec(), interpreting=False)
+        assert cold_cycles > warm_cycles  # cold misses cost stalls
+
+    def test_mlc_gating_returns_dirty_count(self):
+        core = CoreModel(SERVER)
+        # Write enough lines that some land in the MLC dirty.
+        for i in range(4000):
+            core.hierarchy.mlc.access(i * 64, is_write=True)
+        dirty = core.apply_mlc_state(1)
+        assert dirty > 0
+        assert core.states.mlc_ways == 1
+
+    def test_bpu_gating_switches_mode(self):
+        core = CoreModel(MOBILE)
+        core.apply_bpu_state(False)
+        assert core.bpu.large_on is False
+        core.apply_bpu_state(True)
+        assert core.bpu.large_on is True
+
+    def test_design_way_states(self):
+        assert SERVER.mlc_way_states == (1, 4, 8)
+        assert MOBILE.mlc_way_states == (1, 4, 8)
