@@ -31,10 +31,19 @@ from repro.core import (
 from repro.sim import (
     GatingMode,
     HybridSimulator,
+    IPCSeriesProbe,
+    JobRecord,
+    PhaseLogProbe,
+    ResultCache,
+    SimJob,
     SimulationResult,
+    SweepRunner,
+    UnitActivityProbe,
     energy_reduction,
     leakage_reduction,
     power_reduction,
+    run_job,
+    run_jobs,
     run_simulation,
     slowdown,
 )
@@ -60,6 +69,15 @@ __all__ = [
     "HybridSimulator",
     "run_simulation",
     "SimulationResult",
+    "SimJob",
+    "JobRecord",
+    "ResultCache",
+    "SweepRunner",
+    "run_job",
+    "run_jobs",
+    "IPCSeriesProbe",
+    "PhaseLogProbe",
+    "UnitActivityProbe",
     "slowdown",
     "power_reduction",
     "energy_reduction",

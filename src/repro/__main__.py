@@ -5,15 +5,23 @@ Commands:
 - ``list``     — list the 29 benchmark profiles and their suites.
 - ``run``      — simulate one benchmark under one gating mode.
 - ``compare``  — full-power vs PowerChop vs minimal on one benchmark.
+- ``sweep``    — run a benchmark x mode batch through the parallel engine.
 - ``designs``  — print the two Table I design points.
+
+``run``, ``compare`` and ``sweep`` accept ``--json`` for machine-readable
+output; ``sweep`` accepts ``--jobs N`` (default: ``REPRO_JOBS``) to fan the
+batch across a process pool, with results cached on disk (see
+``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.report import format_table
+from repro.sim.engine import SimJob, SweepRunner, default_workers
 from repro.sim.results import (
     energy_reduction,
     leakage_reduction,
@@ -40,6 +48,11 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         default="",
         help="design point: server | mobile (default: paper pairing)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the human summary",
+    )
 
 
 def _resolve_design(args):
@@ -64,6 +77,9 @@ def cmd_run(args) -> int:
     result = run_simulation(
         design, profile, mode, max_instructions=args.instructions
     )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
     energy = result.energy
     print(f"{profile.name} on {design.name} [{mode.value}]")
     print(f"  instructions : {result.instructions:,}")
@@ -88,6 +104,24 @@ def cmd_compare(args) -> int:
             design, profile, mode, max_instructions=args.instructions
         )
     full = results[GatingMode.FULL]
+    if args.json:
+        payload = {
+            "benchmark": profile.name,
+            "design": design.name,
+            "instructions": args.instructions,
+            "results": {m.value: r.to_dict() for m, r in results.items()},
+            "comparison": {
+                m.value: {
+                    "slowdown": slowdown(full, r),
+                    "power_reduction": power_reduction(full, r),
+                    "leakage_reduction": leakage_reduction(full, r),
+                    "energy_reduction": energy_reduction(full, r),
+                }
+                for m, r in results.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     rows = []
     for mode, result in results.items():
         rows.append(
@@ -105,6 +139,74 @@ def cmd_compare(args) -> int:
     print(
         format_table(
             ("mode", "ipc", "slowdown", "power_w", "power_red", "leak_red", "energy_red"),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    modes = [GatingMode(mode.strip()) for mode in args.modes.split(",") if mode.strip()]
+    if not modes:
+        raise SystemExit("sweep: --modes must name at least one gating mode")
+    names = args.benchmarks or [p.name for p in ALL_BENCHMARKS]
+    design = design_by_name(args.design) if args.design else None
+
+    jobs = []
+    for name in names:
+        profile = get_profile(name)  # fail fast on unknown names
+        job_design = design or design_for_suite(profile.suite)
+        for mode in modes:
+            jobs.append(
+                SimJob(
+                    benchmark=name,
+                    design=job_design,
+                    mode=mode,
+                    max_instructions=args.instructions,
+                )
+            )
+    records = SweepRunner(workers=args.jobs).run(jobs)
+
+    by_key = {(job.benchmark, job.mode): record for job, record in zip(jobs, records)}
+    if args.json:
+        payload = [
+            {
+                "job_key": record.job_key,
+                "from_cache": record.from_cache,
+                "result": record.result.to_dict(),
+            }
+            for record in records
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    rows = []
+    for job, record in zip(jobs, records):
+        result = record.result
+        full = by_key.get((job.benchmark, GatingMode.FULL))
+        versus_full = (
+            f"{slowdown(full.result, result):+.2%}/{power_reduction(full.result, result):.2%}"
+            if full is not None
+            else "-"
+        )
+        rows.append(
+            (
+                job.benchmark,
+                job.mode.value,
+                f"{result.ipc:.3f}",
+                f"{result.energy.avg_power_w:.3f}",
+                versus_full,
+                "hit" if record.from_cache else "run",
+            )
+        )
+    print(
+        f"{len(jobs)} jobs ({len(names)} benchmarks x {len(modes)} modes), "
+        f"{args.jobs or default_workers()} worker(s), "
+        f"{sum(1 for r in records if r.from_cache)} cache hits"
+    )
+    print(
+        format_table(
+            ("benchmark", "mode", "ipc", "power_w", "slowdown/power_red", "cache"),
             rows,
         )
     )
@@ -143,6 +245,47 @@ def main(argv=None) -> int:
     )
     _add_run_args(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a benchmark x mode batch through the engine"
+    )
+    sweep_parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names (default: all 29 profiles)",
+    )
+    sweep_parser.add_argument(
+        "-m",
+        "--modes",
+        default="full,powerchop",
+        help="comma-separated gating modes (default: full,powerchop)",
+    )
+    sweep_parser.add_argument(
+        "-n",
+        "--instructions",
+        type=int,
+        default=2_000_000,
+        help="guest instructions per job (default 2M)",
+    )
+    sweep_parser.add_argument(
+        "-d",
+        "--design",
+        default="",
+        help="design point: server | mobile (default: paper pairing)",
+    )
+    sweep_parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool workers (default: REPRO_JOBS, else 1)",
+    )
+    sweep_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the summary table",
+    )
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     sub.add_parser("designs", help="print Table I design points").set_defaults(
         func=cmd_designs

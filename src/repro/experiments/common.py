@@ -7,7 +7,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_bars, format_table
-from repro.core.config import PowerChopConfig
+from repro.sim import engine
+from repro.sim.probes import IPCSeriesProbe
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import GatingMode, HybridSimulator
 from repro.uarch.config import MOBILE, SERVER, DesignPoint, design_for_suite
@@ -70,12 +71,10 @@ class ExperimentResult:
 
 # --------------------------------------------------------------- run cache
 
-#: (benchmark, mode, managed_units, timeout, budget) -> (result, phase_log)
-_CACHE: Dict[tuple, Tuple[SimulationResult, list]] = {}
-
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the engine's per-process memo (the disk cache is unaffected)."""
+    engine.clear_memo()
 
 
 def run_cached(
@@ -89,39 +88,30 @@ def run_cached(
 ) -> Tuple[SimulationResult, list]:
     """Run (or reuse) one simulation; returns (result, phase log).
 
-    Results are memoised per process so the many figures that share the
-    same full-power / PowerChop / minimal runs only pay for them once.
-    PowerChop runs always collect phase vectors so the Fig. 8 analysis can
-    reuse them.
+    A thin shim over :func:`repro.sim.engine.run_job`: the many figures
+    that share the same full-power / PowerChop / minimal runs pay for them
+    once per process (and once per machine, via the engine's on-disk
+    cache).  PowerChop runs always collect phase vectors so the Fig. 8
+    analysis can reuse them.
+
+    ``configure`` callbacks are invisible to the cache key, so passing one
+    without a distinguishing ``cache_tag`` raises ``ValueError``.
     """
     profile = get_profile(benchmark)
     design = design_for_suite(profile.suite)
     budget = instructions_for(design, fraction)
-    key = (benchmark, mode.value, managed_units, timeout_cycles, budget, cache_tag)
-    if key in _CACHE:
-        return _CACHE[key]
-
-    config = None
-    if mode is GatingMode.POWERCHOP:
-        config = PowerChopConfig(
-            managed_units=managed_units, collect_phase_vectors=True
-        )
-    workload = build_workload(profile)
-    simulator = HybridSimulator(
-        design,
-        workload,
+    job = engine.SimJob(
+        benchmark=benchmark,
         mode=mode,
-        powerchop_config=config,
+        managed_units=managed_units,
         timeout_cycles=timeout_cycles,
+        max_instructions=budget,
+        collect_phase_log=mode is GatingMode.POWERCHOP,
+        configure=configure,
+        cache_tag=cache_tag,
     )
-    if configure is not None:
-        configure(simulator)
-    result = simulator.run(budget)
-    phase_log = (
-        list(simulator.controller.phase_log) if simulator.controller else []
-    )
-    _CACHE[key] = (result, phase_log)
-    return _CACHE[key]
+    record = engine.run_job(job)
+    return record.result, record.phase_log
 
 
 def server_and_mobile_benchmarks() -> List[Tuple[str, DesignPoint]]:
@@ -141,28 +131,13 @@ def timeseries_ipc(
     """IPC sampled every ``sample_instructions`` (for Figs. 2 and 3).
 
     Runs a full-power simulation with ``configure`` applied first (e.g.
-    forcing the small BPU or a 1-way MLC) and records windowed IPC.
+    forcing the small BPU or a 1-way MLC) and records windowed IPC through
+    an :class:`~repro.sim.probes.IPCSeriesProbe` — including the trailing
+    partial window when it covers at least half a sample.
     """
-    from repro.bt.runtime import ExecMode
-
     workload = build_workload(profile)
     simulator = HybridSimulator(design, workload, GatingMode.FULL)
     configure(simulator)
-    core, bt = simulator.core, simulator.bt
-    series: List[float] = []
-    cycles = 0.0
-    last_cycles = 0.0
-    last_instr = 0
-    boundary = sample_instructions
-    for block_exec in workload.trace(max_instructions):
-        exec_mode, bt_cycles, _entered = bt.on_block(block_exec.block)
-        cycles += bt_cycles
-        cycles += core.execute_block(block_exec, exec_mode is ExecMode.INTERPRETED)
-        instructions = core.counters.instructions
-        if instructions >= boundary:
-            delta_c = cycles - last_cycles
-            delta_i = instructions - last_instr
-            series.append(delta_i / delta_c if delta_c else 0.0)
-            last_cycles, last_instr = cycles, instructions
-            boundary += sample_instructions
-    return series
+    probe = IPCSeriesProbe(sample_instructions=sample_instructions).build()
+    simulator.run(max_instructions, probes=(probe,))
+    return probe.value()

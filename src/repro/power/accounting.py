@@ -60,6 +60,43 @@ class EnergyReport:
             frac for ways, frac in self.mlc_way_residency.items() if ways < full_ways
         )
 
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "leakage_j": self.leakage_j,
+            "dynamic_j": self.dynamic_j,
+            "switch_overhead_j": self.switch_overhead_j,
+            "unit_leakage_j": dict(self.unit_leakage_j),
+            "unit_dynamic_j": dict(self.unit_dynamic_j),
+            "vpu_on_frac": self.vpu_on_frac,
+            "bpu_on_frac": self.bpu_on_frac,
+            "mlc_way_residency": {
+                str(ways): frac for ways, frac in self.mlc_way_residency.items()
+            },
+            "switch_counts": dict(self.switch_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EnergyReport":
+        """Rebuild a report from :meth:`to_dict` output (or parsed JSON)."""
+        return cls(
+            cycles=data["cycles"],
+            seconds=data["seconds"],
+            leakage_j=data["leakage_j"],
+            dynamic_j=data["dynamic_j"],
+            switch_overhead_j=data["switch_overhead_j"],
+            unit_leakage_j=dict(data["unit_leakage_j"]),
+            unit_dynamic_j=dict(data["unit_dynamic_j"]),
+            vpu_on_frac=data["vpu_on_frac"],
+            bpu_on_frac=data["bpu_on_frac"],
+            mlc_way_residency={
+                int(ways): frac for ways, frac in data["mlc_way_residency"].items()
+            },
+            switch_counts=dict(data["switch_counts"]),
+        )
+
 
 class EnergyAccounting:
     """Streaming energy integrator; one instance per simulation run.

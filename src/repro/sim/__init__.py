@@ -1,4 +1,4 @@
-"""Simulation harness: top-level simulator, results, sweeps, SimPoint."""
+"""Simulation harness: simulator, engine (jobs/cache/sweeps), probes, results."""
 
 from repro.sim.results import (
     SimulationResult,
@@ -8,6 +8,21 @@ from repro.sim.results import (
     slowdown,
 )
 from repro.sim.simulator import GatingMode, HybridSimulator, run_simulation
+from repro.sim.engine import (
+    JobRecord,
+    ResultCache,
+    SimJob,
+    SweepRunner,
+    run_job,
+    run_jobs,
+)
+from repro.sim.probes import (
+    IPCSeriesProbe,
+    PhaseLogProbe,
+    ProbeSpec,
+    ProbeState,
+    UnitActivityProbe,
+)
 from repro.sim.sweep import (
     sweep_powerchop_thresholds,
     sweep_signature_lengths,
@@ -25,6 +40,17 @@ __all__ = [
     "power_reduction",
     "energy_reduction",
     "leakage_reduction",
+    "SimJob",
+    "JobRecord",
+    "ResultCache",
+    "SweepRunner",
+    "run_job",
+    "run_jobs",
+    "ProbeSpec",
+    "ProbeState",
+    "IPCSeriesProbe",
+    "PhaseLogProbe",
+    "UnitActivityProbe",
     "sweep_powerchop_thresholds",
     "sweep_timeout_periods",
     "sweep_window_sizes",

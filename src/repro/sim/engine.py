@@ -1,0 +1,440 @@
+"""Unified simulation engine: declarative jobs, result caching, sweeps.
+
+This is the single way to describe, instrument, run and cache simulations:
+
+- :class:`SimJob` — a frozen, hashable description of one run (benchmark or
+  inline profile, design point, gating mode, PowerChop configuration,
+  instruction budget, seed, probe set) with a stable content-hash
+  :meth:`~SimJob.key`;
+- :func:`execute_job` — run one job from scratch (also the process-pool
+  worker function, so everything a job references must be picklable);
+- :func:`run_job` — execute with two cache layers: a per-process memo (so
+  repeated calls return the *same* objects) and a persistent on-disk JSON
+  :class:`ResultCache` keyed by job hash plus schema/code version;
+- :class:`SweepRunner` — run batches of jobs across a
+  ``ProcessPoolExecutor`` (worker count from ``REPRO_JOBS``; results come
+  back in job order regardless of completion order, bit-identical to the
+  serial path).
+
+Environment knobs: ``REPRO_JOBS`` (default worker count, default 1),
+``REPRO_CACHE_DIR`` (cache directory, default ``~/.cache/repro-powerchop``)
+and ``REPRO_CACHE=0`` to disable the on-disk layer entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import PowerChopConfig
+from repro.sim.probes import PhaseLogProbe, ProbeSpec
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import DesignPoint, design_for_suite
+from repro.workloads.profiles import BenchmarkProfile, build_workload
+from repro.workloads.suites import get_profile
+
+__all__ = [
+    "SimJob",
+    "JobRecord",
+    "ResultCache",
+    "SweepRunner",
+    "execute_job",
+    "run_job",
+    "run_jobs",
+    "clear_memo",
+    "default_workers",
+]
+
+#: Bump when result semantics or the cache schema change; stale entries
+#: from older schema/code versions are treated as misses.
+CACHE_SCHEMA_VERSION = 1
+
+_MANAGED_UNITS = ("vpu", "bpu", "mlc")
+
+
+def _code_version() -> str:
+    # Imported lazily: repro/__init__ imports repro.sim, which imports this
+    # module, so a top-level ``from repro import __version__`` would run
+    # against the half-initialised package.
+    from repro import __version__
+
+    return __version__
+
+
+# ------------------------------------------------------------------- jobs
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """Declarative description of one simulation run.
+
+    Exactly one of ``benchmark`` (a suite-registry name) or ``profile`` (an
+    inline :class:`BenchmarkProfile`) names the workload; the workload is
+    reconstructed from the spec inside each worker process, so jobs stay
+    cheap to ship around.  ``design=None`` uses the paper's suite pairing.
+
+    ``configure`` is an escape hatch for imperative simulator tweaks the
+    spec cannot express.  Because the callback's effect is invisible to the
+    content hash, any job carrying one *must* also carry a non-empty
+    ``cache_tag`` that uniquely names the configuration — otherwise cached
+    results could be served for a differently-configured run.
+    """
+
+    benchmark: str = ""
+    profile: Optional[BenchmarkProfile] = None
+    design: Optional[DesignPoint] = None
+    mode: GatingMode = GatingMode.FULL
+    powerchop_config: Optional[PowerChopConfig] = None
+    managed_units: Tuple[str, ...] = _MANAGED_UNITS
+    timeout_cycles: float = 20_000.0
+    max_instructions: int = 1_000_000
+    seed: Optional[int] = None
+    collect_phase_log: bool = False
+    probes: Tuple[ProbeSpec, ...] = ()
+    configure: Optional[Callable[[HybridSimulator], None]] = None
+    cache_tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.benchmark and self.profile is None:
+            raise ValueError("SimJob needs a benchmark name or an inline profile")
+        if self.benchmark and self.profile is not None:
+            raise ValueError("pass either benchmark or profile, not both")
+        if self.max_instructions < 1:
+            raise ValueError("max_instructions must be >= 1")
+        if self.timeout_cycles <= 0:
+            raise ValueError("timeout_cycles must be positive")
+        unknown = set(self.managed_units) - set(_MANAGED_UNITS)
+        if unknown:
+            raise ValueError(f"unknown managed units {sorted(unknown)}")
+        if self.configure is not None and not self.cache_tag:
+            raise ValueError(
+                "a configure callback requires a non-empty cache_tag: the "
+                "callback's effect is not part of the job hash, so an "
+                "untagged job could be served stale results for a "
+                "different configuration"
+            )
+
+    # ------------------------------------------------------------ resolve
+
+    def resolve_profile(self) -> BenchmarkProfile:
+        return self.profile if self.profile is not None else get_profile(self.benchmark)
+
+    def resolve_design(self, profile: Optional[BenchmarkProfile] = None) -> DesignPoint:
+        if self.design is not None:
+            return self.design
+        profile = profile if profile is not None else self.resolve_profile()
+        return design_for_suite(profile.suite)
+
+    def resolve_config(self) -> Optional[PowerChopConfig]:
+        """The PowerChop config this job runs with (None outside POWERCHOP)."""
+        if self.mode is not GatingMode.POWERCHOP:
+            return None
+        config = self.powerchop_config or PowerChopConfig(
+            managed_units=self.managed_units
+        )
+        wants_log = self.collect_phase_log or any(
+            isinstance(spec, PhaseLogProbe) for spec in self.probes
+        )
+        if wants_log and not config.collect_phase_vectors:
+            config = replace(config, collect_phase_vectors=True)
+        return config
+
+    # ---------------------------------------------------------------- key
+
+    def key(self) -> str:
+        """Stable content hash identifying this job across processes.
+
+        Frozen-dataclass reprs are deterministic functions of their field
+        values, which makes them a canonical text form for hashing.  The
+        ``configure`` callback is represented solely by ``cache_tag``
+        (enforced non-empty above); the schema/code version salts the hash
+        so old cache entries never alias new semantics.
+        """
+        parts = (
+            f"schema={CACHE_SCHEMA_VERSION}",
+            f"version={_code_version()}",
+            f"benchmark={self.benchmark}",
+            f"profile={self.profile!r}",
+            f"design={self.design!r}",
+            f"mode={self.mode.value}",
+            f"config={self.resolve_config()!r}",
+            f"managed={self.managed_units!r}",
+            f"timeout={self.timeout_cycles!r}",
+            f"budget={self.max_instructions}",
+            f"seed={self.seed!r}",
+            f"phase_log={self.collect_phase_log!r}",
+            f"probes={self.probes!r}",
+            f"tag={self.cache_tag}",
+        )
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """Everything one executed :class:`SimJob` produced."""
+
+    job_key: str
+    result: SimulationResult
+    phase_log: List[Tuple[Tuple[int, ...], Dict[int, int]]] = field(
+        default_factory=list
+    )
+    probes: Dict[str, Any] = field(default_factory=dict)
+    from_cache: bool = False
+
+
+def execute_job(job: SimJob) -> JobRecord:
+    """Run one job from scratch (no caching).  Process-pool worker."""
+    profile = job.resolve_profile()
+    design = job.resolve_design(profile)
+    workload = build_workload(profile, job.seed)
+    simulator = HybridSimulator(
+        design,
+        workload,
+        mode=job.mode,
+        powerchop_config=job.resolve_config(),
+        timeout_cycles=job.timeout_cycles,
+    )
+    if job.configure is not None:
+        job.configure(simulator)
+    probe_states = tuple(spec.build() for spec in job.probes)
+    result = simulator.run(job.max_instructions, probes=probe_states)
+    phase_log = (
+        list(simulator.controller.phase_log) if simulator.controller else []
+    )
+    return JobRecord(
+        job_key=job.key(),
+        result=result,
+        phase_log=phase_log,
+        probes={state.name: state.value() for state in probe_states},
+    )
+
+
+# ------------------------------------------------------------------ cache
+
+
+class ResultCache:
+    """Persistent on-disk JSON cache of :class:`JobRecord`, one file per key.
+
+    The directory comes from ``REPRO_CACHE_DIR`` (default
+    ``~/.cache/repro-powerchop``); ``REPRO_CACHE=0`` disables reads and
+    writes.  Entries are invalidated implicitly: the schema and package
+    versions salt the job hash, and any config change alters the key.
+    Corrupt or unreadable entries are treated as misses.
+    """
+
+    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None):
+        if root is None:
+            root = Path(
+                os.environ.get(
+                    "REPRO_CACHE_DIR",
+                    os.path.join(os.path.expanduser("~"), ".cache", "repro-powerchop"),
+                )
+            )
+        self.root = Path(root)
+        if enabled is None:
+            enabled = os.environ.get("REPRO_CACHE", "1") != "0"
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[JobRecord]:
+        if not self.enabled:
+            return None
+        try:
+            with open(self._path(key)) as handle:
+                data = json.load(handle)
+            if data.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            record = JobRecord(
+                job_key=key,
+                result=SimulationResult.from_dict(data["result"]),
+                phase_log=[
+                    (tuple(signature), {int(tid): count for tid, count in vector.items()})
+                    for signature, vector in data["phase_log"]
+                ],
+                probes=data.get("probes", {}),
+                from_cache=True,
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: JobRecord) -> None:
+        if not self.enabled:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": _code_version(),
+            "result": record.result.to_dict(),
+            "phase_log": [
+                [list(signature), vector] for signature, vector in record.phase_log
+            ],
+            "probes": record.probes,
+        }
+        try:
+            text = json.dumps(payload)
+        except TypeError:
+            return  # non-JSON probe value; skip persistence, keep the memo
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self._path(key).with_suffix(".tmp%d" % os.getpid())
+        tmp.write_text(text)
+        os.replace(tmp, self._path(key))
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+#: Per-process memo: job key -> JobRecord.  Callers that hit the memo get
+#: the *same* record object back, which the experiment layer relies on.
+_MEMO: Dict[str, JobRecord] = {}
+
+
+def clear_memo() -> None:
+    """Drop the per-process memo (the on-disk cache is unaffected)."""
+    _MEMO.clear()
+
+
+def run_job(job: SimJob, cache: Optional[ResultCache] = None) -> JobRecord:
+    """Run one job through the memo and on-disk cache layers."""
+    key = job.key()
+    record = _MEMO.get(key)
+    if record is not None:
+        # Same result/phase_log objects as the memoised record; only the
+        # from_cache flag differs, so callers can see the hit.
+        return replace(record, from_cache=True)
+    if cache is None:
+        cache = ResultCache()
+    record = cache.get(key)
+    if record is None:
+        record = execute_job(job)
+        cache.put(key, record)
+    _MEMO[key] = record
+    return record
+
+
+# ------------------------------------------------------------------ sweep
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        workers = int(os.environ.get("REPRO_JOBS", "1"))
+    except ValueError as exc:
+        raise ValueError("REPRO_JOBS must be an integer") from exc
+    if workers < 1:
+        raise ValueError("REPRO_JOBS must be >= 1")
+    return workers
+
+
+def _is_picklable(job: SimJob) -> bool:
+    try:
+        pickle.dumps(job)
+        return True
+    except Exception:
+        return False
+
+
+class SweepRunner:
+    """Execute batches of :class:`SimJob` with caching and parallelism.
+
+    Results are returned in job order regardless of completion order, and
+    are bit-identical between the serial and process-pool paths (workload
+    generation is seeded, simulation is deterministic).  Duplicate jobs
+    within one batch execute once and share a record.  Jobs that cannot be
+    pickled (e.g. closure ``configure`` callbacks) fall back to in-process
+    execution automatically.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else workers
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cache = cache if cache is not None else ResultCache()
+
+    def run(self, jobs: Sequence[SimJob]) -> List[JobRecord]:
+        jobs = list(jobs)
+        records: List[Optional[JobRecord]] = [None] * len(jobs)
+
+        # Cache pass; collect unique missing keys in first-seen order.
+        pending: Dict[str, SimJob] = {}
+        slots: Dict[str, List[int]] = {}
+        for index, job in enumerate(jobs):
+            key = job.key()
+            memoised = _MEMO.get(key)
+            if memoised is not None:
+                records[index] = replace(memoised, from_cache=True)
+                continue
+            record = self.cache.get(key)
+            if record is not None:
+                _MEMO[key] = record
+                records[index] = record
+            else:
+                pending.setdefault(key, job)
+                slots.setdefault(key, []).append(index)
+
+        fresh: Dict[str, JobRecord] = {}
+        parallel = [
+            (key, job)
+            for key, job in pending.items()
+            if self.workers > 1 and _is_picklable(job)
+        ]
+        parallel_keys = {key for key, _job in parallel}
+        serial = [
+            (key, job) for key, job in pending.items() if key not in parallel_keys
+        ]
+
+        if len(parallel) > 1:
+            max_workers = min(self.workers, len(parallel))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(execute_job, job): key for key, job in parallel
+                }
+                for future in as_completed(futures):
+                    fresh[futures[future]] = future.result()
+        else:
+            serial = parallel + serial
+
+        for key, job in serial:
+            fresh[key] = execute_job(job)
+
+        for key, record in fresh.items():
+            self.cache.put(key, record)
+            _MEMO[key] = record
+            for index in slots[key]:
+                records[index] = record
+
+        return records  # type: ignore[return-value]
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[JobRecord]:
+    """Convenience wrapper: one-shot :class:`SweepRunner` run."""
+    return SweepRunner(workers=workers, cache=cache).run(jobs)

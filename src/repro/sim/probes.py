@@ -1,0 +1,198 @@
+"""Pluggable simulation probes: lightweight observers of a running simulation.
+
+A probe is described declaratively by a frozen :class:`ProbeSpec` (so it can
+live inside a hashable :class:`~repro.sim.engine.SimJob`) and instantiated
+per run as a mutable :class:`ProbeState` via :meth:`ProbeSpec.build`.  The
+simulator invokes the state's hooks:
+
+- ``attach(simulator)`` once before the first block;
+- ``on_block(block_exec, cycles, instructions)`` after every executed block,
+  with cumulative cycle and instruction counts;
+- ``on_window(windows_seen, cycles)`` whenever the PowerChop controller
+  completes an execution window (never fires outside POWERCHOP mode);
+- ``finish(simulator, result)`` once after the run.
+
+``value()`` returns the probe's product.  Values must be JSON-serialisable
+(lists/dicts/scalars) so the engine's persistent result cache can round-trip
+them; note JSON turns tuples into lists and dict keys into strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+__all__ = [
+    "ProbeSpec",
+    "ProbeState",
+    "IPCSeriesProbe",
+    "PhaseLogProbe",
+    "UnitActivityProbe",
+]
+
+
+class ProbeState:
+    """Per-run observer; subclasses override the hooks they need."""
+
+    name: str = "probe"
+
+    def attach(self, simulator) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def on_block(self, block_exec, cycles: float, instructions: int) -> None:
+        pass
+
+    def on_window(self, windows_seen: int, cycles: float) -> None:
+        pass
+
+    def finish(self, simulator, result) -> None:
+        pass
+
+    def value(self) -> Any:
+        return None
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """Hashable description of a probe; ``build()`` makes a fresh state."""
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def build(self) -> ProbeState:
+        raise NotImplementedError
+
+
+# ------------------------------------------------------------- IPC series
+
+
+@dataclass(frozen=True)
+class IPCSeriesProbe(ProbeSpec):
+    """Windowed IPC over instruction count (the Figs. 2/3 time series).
+
+    Emits one IPC sample per ``sample_instructions`` executed.  The trailing
+    partial window is emitted too when it covers at least half a sample
+    window, so short runs do not silently drop their final measurements.
+    """
+
+    sample_instructions: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.sample_instructions < 1:
+            raise ValueError("sample_instructions must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return "ipc_series"
+
+    def build(self) -> "_IPCSeriesState":
+        return _IPCSeriesState(self.sample_instructions)
+
+
+class _IPCSeriesState(ProbeState):
+    name = "ipc_series"
+
+    def __init__(self, sample_instructions: int) -> None:
+        self.sample_instructions = sample_instructions
+        self.series: List[float] = []
+        self._last_cycles = 0.0
+        self._last_instr = 0
+        self._boundary = sample_instructions
+
+    def on_block(self, block_exec, cycles: float, instructions: int) -> None:
+        if instructions >= self._boundary:
+            delta_c = cycles - self._last_cycles
+            delta_i = instructions - self._last_instr
+            self.series.append(delta_i / delta_c if delta_c else 0.0)
+            self._last_cycles = cycles
+            self._last_instr = instructions
+            self._boundary += self.sample_instructions
+
+    def finish(self, simulator, result) -> None:
+        # Trailing partial window: emit when it covers >= half a sample.
+        delta_i = result.instructions - self._last_instr
+        if delta_i > 0 and 2 * delta_i >= self.sample_instructions:
+            delta_c = simulator.cycles - self._last_cycles
+            self.series.append(delta_i / delta_c if delta_c else 0.0)
+
+    def value(self) -> List[float]:
+        return list(self.series)
+
+
+# -------------------------------------------------------------- phase log
+
+
+@dataclass(frozen=True)
+class PhaseLogProbe(ProbeSpec):
+    """Per-window (signature, translation vector) pairs from the controller.
+
+    Requires POWERCHOP mode; the engine enables
+    ``PowerChopConfig.collect_phase_vectors`` automatically when this probe
+    is present.  The value mirrors the controller's phase log as JSON-typed
+    data: ``[[signature, {tid: count}], ...]``.
+    """
+
+    @property
+    def name(self) -> str:
+        return "phase_log"
+
+    def build(self) -> "_PhaseLogState":
+        return _PhaseLogState()
+
+
+class _PhaseLogState(ProbeState):
+    name = "phase_log"
+
+    def __init__(self) -> None:
+        self.log: List[list] = []
+
+    def finish(self, simulator, result) -> None:
+        controller = simulator.controller
+        if controller is not None:
+            self.log = [
+                [list(signature), dict(vector)]
+                for signature, vector in controller.phase_log
+            ]
+
+    def value(self) -> List[list]:
+        return self.log
+
+
+# ---------------------------------------------------------- unit activity
+
+
+@dataclass(frozen=True)
+class UnitActivityProbe(ProbeSpec):
+    """Unit power states sampled at every window boundary (POWERCHOP only).
+
+    Each sample is ``[cycles, vpu_on, bpu_large_on, mlc_ways]`` — the raw
+    material for gating-activity timelines (Figs. 9-11 style analyses).
+    """
+
+    @property
+    def name(self) -> str:
+        return "unit_activity"
+
+    def build(self) -> "_UnitActivityState":
+        return _UnitActivityState()
+
+
+class _UnitActivityState(ProbeState):
+    name = "unit_activity"
+
+    def __init__(self) -> None:
+        self.samples: List[list] = []
+        self._simulator = None
+
+    def attach(self, simulator) -> None:
+        self._simulator = simulator
+
+    def on_window(self, windows_seen: int, cycles: float) -> None:
+        states = self._simulator.core.states
+        self.samples.append(
+            [cycles, bool(states.vpu_on), bool(states.bpu_large_on), int(states.mlc_ways)]
+        )
+
+    def value(self) -> List[list]:
+        return self.samples

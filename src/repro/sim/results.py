@@ -69,6 +69,84 @@ class SimulationResult:
             return 0.0
         return self.switch_counts.get(unit, 0) * 1e6 / self.cycles
 
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`.
+
+        Derived metrics (``ipc``, rates) are included read-only for
+        machine consumers; ``from_dict`` ignores them.
+        """
+        data = {
+            "benchmark": self.benchmark,
+            "suite": self.suite,
+            "design": self.design,
+            "mode": self.mode,
+            "instructions": self.instructions,
+            "micro_ops": self.micro_ops,
+            "cycles": self.cycles,
+            "energy": self.energy.to_dict() if self.energy else None,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "mlc_hits": self.mlc_hits,
+            "mlc_misses": self.mlc_misses,
+            "mlc_writebacks": self.mlc_writebacks,
+            "interpreted_instructions": self.interpreted_instructions,
+            "translations_built": self.translations_built,
+            "translation_executions": self.translation_executions,
+            "windows": self.windows,
+            "pvt_lookups": self.pvt_lookups,
+            "pvt_hits": self.pvt_hits,
+            "pvt_misses": self.pvt_misses,
+            "pvt_evictions": self.pvt_evictions,
+            "cde_invocations": self.cde_invocations,
+            "new_phases": self.new_phases,
+            "switch_counts": dict(self.switch_counts),
+            "extra": dict(self.extra),
+            "derived": {
+                "ipc": self.ipc,
+                "mispredict_rate": self.mispredict_rate,
+                "mlc_hit_rate": self.mlc_hit_rate,
+                "avg_power_w": self.energy.avg_power_w if self.energy else 0.0,
+                "total_j": self.energy.total_j if self.energy else 0.0,
+            },
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
+        energy = data.get("energy")
+        return cls(
+            benchmark=data["benchmark"],
+            suite=data["suite"],
+            design=data["design"],
+            mode=data["mode"],
+            instructions=data["instructions"],
+            micro_ops=data["micro_ops"],
+            cycles=data["cycles"],
+            energy=EnergyReport.from_dict(energy) if energy else None,
+            branches=data["branches"],
+            mispredicts=data["mispredicts"],
+            l1_hits=data["l1_hits"],
+            l1_misses=data["l1_misses"],
+            mlc_hits=data["mlc_hits"],
+            mlc_misses=data["mlc_misses"],
+            mlc_writebacks=data["mlc_writebacks"],
+            interpreted_instructions=data["interpreted_instructions"],
+            translations_built=data["translations_built"],
+            translation_executions=data["translation_executions"],
+            windows=data["windows"],
+            pvt_lookups=data["pvt_lookups"],
+            pvt_hits=data["pvt_hits"],
+            pvt_misses=data["pvt_misses"],
+            pvt_evictions=data["pvt_evictions"],
+            cde_invocations=data["cde_invocations"],
+            new_phases=data["new_phases"],
+            switch_counts=dict(data["switch_counts"]),
+            extra=dict(data["extra"]),
+        )
+
 
 def _require_same_workload(baseline: SimulationResult, other: SimulationResult) -> None:
     if baseline.benchmark != other.benchmark or baseline.design != other.design:

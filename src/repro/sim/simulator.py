@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from enum import Enum
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.bt.runtime import BTRuntime, ExecMode
 from repro.core.config import PowerChopConfig
@@ -77,8 +77,17 @@ class HybridSimulator:
         self.cycles = 0.0
         self._ran = False
 
-    def run(self, max_instructions: int = 1_000_000) -> SimulationResult:
-        """Execute up to ``max_instructions`` guest instructions."""
+    def run(
+        self, max_instructions: int = 1_000_000, probes: Sequence = ()
+    ) -> SimulationResult:
+        """Execute up to ``max_instructions`` guest instructions.
+
+        ``probes`` are :class:`~repro.sim.probes.ProbeState` observers: each
+        gets ``attach`` before the first block, ``on_block`` after every
+        executed block, ``on_window`` at each completed PowerChop window,
+        and ``finish`` once the result is built.  The probe-free path stays
+        a tight loop.
+        """
         if self._ran:
             raise RuntimeError("HybridSimulator instances are single-use")
         self._ran = True
@@ -94,17 +103,40 @@ class HybridSimulator:
         interpreted = ExecMode.INTERPRETED
         cycles = 0.0
 
-        for block_exec in self.workload.trace(max_instructions):
-            if timeout_controller is not None:
-                cycles += timeout_controller.on_block(block_exec, cycles)
-            exec_mode, bt_cycles, entered = on_block(block_exec.block)
-            cycles += bt_cycles
-            if entered is not None and controller is not None:
-                cycles += controller.on_translation_entry(entered, cycles)
-            cycles += execute_block(block_exec, exec_mode is interpreted)
+        if not probes:
+            for block_exec in self.workload.trace(max_instructions):
+                if timeout_controller is not None:
+                    cycles += timeout_controller.on_block(block_exec, cycles)
+                exec_mode, bt_cycles, entered = on_block(block_exec.block)
+                cycles += bt_cycles
+                if entered is not None and controller is not None:
+                    cycles += controller.on_translation_entry(entered, cycles)
+                cycles += execute_block(block_exec, exec_mode is interpreted)
+        else:
+            for probe in probes:
+                probe.attach(self)
+            windows_seen = controller.windows_seen if controller else 0
+            for block_exec in self.workload.trace(max_instructions):
+                if timeout_controller is not None:
+                    cycles += timeout_controller.on_block(block_exec, cycles)
+                exec_mode, bt_cycles, entered = on_block(block_exec.block)
+                cycles += bt_cycles
+                if entered is not None and controller is not None:
+                    cycles += controller.on_translation_entry(entered, cycles)
+                cycles += execute_block(block_exec, exec_mode is interpreted)
+                instructions = core.counters.instructions
+                for probe in probes:
+                    probe.on_block(block_exec, cycles, instructions)
+                if controller is not None and controller.windows_seen != windows_seen:
+                    windows_seen = controller.windows_seen
+                    for probe in probes:
+                        probe.on_window(windows_seen, cycles)
 
         self.cycles = cycles
-        return self._build_result()
+        result = self._build_result()
+        for probe in probes:
+            probe.finish(self, result)
+        return result
 
     def _build_result(self) -> SimulationResult:
         core = self.core

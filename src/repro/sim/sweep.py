@@ -1,17 +1,26 @@
-"""Parameter sweeps (sensitivity and ablation studies)."""
+"""Parameter sweeps (sensitivity and ablation studies).
+
+All sweeps run through :mod:`repro.sim.engine`: each builds a batch of
+declarative :class:`~repro.sim.engine.SimJob` specs (one shared full-power
+baseline plus one managed run per swept value) and executes it with a
+:class:`~repro.sim.engine.SweepRunner`, so repeated baselines are computed
+once, results are cached on disk, and ``REPRO_JOBS`` parallelises the
+batch without changing any value or ordering.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import PowerChopConfig
 from repro.core.criticality import CriticalityThresholds
+from repro.sim.engine import SimJob, SweepRunner
 from repro.sim.results import (
     SimulationResult,
     power_reduction,
     slowdown,
 )
-from repro.sim.simulator import GatingMode, run_simulation
+from repro.sim.simulator import GatingMode
 from repro.uarch.config import DesignPoint
 from repro.workloads.profiles import BenchmarkProfile
 
@@ -30,30 +39,50 @@ def _compare_record(
     }
 
 
+def _run_with_baseline(
+    design: DesignPoint,
+    profile: BenchmarkProfile,
+    max_instructions: int,
+    managed_jobs: List[SimJob],
+    runner: Optional[SweepRunner],
+) -> tuple:
+    """Run (full baseline, *managed jobs) as one engine batch."""
+    baseline = SimJob(
+        profile=profile,
+        design=design,
+        mode=GatingMode.FULL,
+        max_instructions=max_instructions,
+    )
+    records = (runner or SweepRunner()).run([baseline, *managed_jobs])
+    return records[0].result, [record.result for record in records[1:]]
+
+
 def sweep_powerchop_thresholds(
     design: DesignPoint,
     profile: BenchmarkProfile,
     vpu_thresholds: Iterable[float],
     max_instructions: int = 400_000,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Sweep Threshold_VPU (and keep the others at defaults)."""
-    full = run_simulation(
-        design, profile, GatingMode.FULL, max_instructions=max_instructions
-    )
-    records = []
-    for threshold in vpu_thresholds:
-        config = PowerChopConfig(
-            thresholds=CriticalityThresholds(vpu=threshold),
-        )
-        managed = run_simulation(
-            design,
-            profile,
-            GatingMode.POWERCHOP,
+    thresholds = list(vpu_thresholds)
+    jobs = [
+        SimJob(
+            profile=profile,
+            design=design,
+            mode=GatingMode.POWERCHOP,
+            powerchop_config=PowerChopConfig(
+                thresholds=CriticalityThresholds(vpu=threshold),
+            ),
             max_instructions=max_instructions,
-            powerchop_config=config,
         )
-        records.append(_compare_record(f"vpu_threshold={threshold}", full, managed))
-    return records
+        for threshold in thresholds
+    ]
+    full, managed = _run_with_baseline(design, profile, max_instructions, jobs, runner)
+    return [
+        _compare_record(f"vpu_threshold={threshold}", full, result)
+        for threshold, result in zip(thresholds, managed)
+    ]
 
 
 def sweep_window_sizes(
@@ -61,23 +90,25 @@ def sweep_window_sizes(
     profile: BenchmarkProfile,
     window_sizes: Iterable[int],
     max_instructions: int = 400_000,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Sweep the execution window size (paper's sensitivity analysis)."""
-    full = run_simulation(
-        design, profile, GatingMode.FULL, max_instructions=max_instructions
-    )
-    records = []
-    for window in window_sizes:
-        config = PowerChopConfig(window_size=window)
-        managed = run_simulation(
-            design,
-            profile,
-            GatingMode.POWERCHOP,
+    windows = list(window_sizes)
+    jobs = [
+        SimJob(
+            profile=profile,
+            design=design,
+            mode=GatingMode.POWERCHOP,
+            powerchop_config=PowerChopConfig(window_size=window),
             max_instructions=max_instructions,
-            powerchop_config=config,
         )
-        record = _compare_record(f"window={window}", full, managed)
-        record["pvt_miss_rate"] = managed.pvt_miss_rate_per_translation
+        for window in windows
+    ]
+    full, managed = _run_with_baseline(design, profile, max_instructions, jobs, runner)
+    records = []
+    for window, result in zip(windows, managed):
+        record = _compare_record(f"window={window}", full, result)
+        record["pvt_miss_rate"] = result.pvt_miss_rate_per_translation
         records.append(record)
     return records
 
@@ -87,23 +118,25 @@ def sweep_signature_lengths(
     profile: BenchmarkProfile,
     lengths: Iterable[int],
     max_instructions: int = 400_000,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Sweep the phase signature length N (paper settles on N = 4)."""
-    full = run_simulation(
-        design, profile, GatingMode.FULL, max_instructions=max_instructions
-    )
-    records = []
-    for length in lengths:
-        config = PowerChopConfig(signature_length=length)
-        managed = run_simulation(
-            design,
-            profile,
-            GatingMode.POWERCHOP,
+    lengths = list(lengths)
+    jobs = [
+        SimJob(
+            profile=profile,
+            design=design,
+            mode=GatingMode.POWERCHOP,
+            powerchop_config=PowerChopConfig(signature_length=length),
             max_instructions=max_instructions,
-            powerchop_config=config,
         )
-        record = _compare_record(f"signature_length={length}", full, managed)
-        record["new_phases"] = managed.new_phases
+        for length in lengths
+    ]
+    full, managed = _run_with_baseline(design, profile, max_instructions, jobs, runner)
+    records = []
+    for length, result in zip(lengths, managed):
+        record = _compare_record(f"signature_length={length}", full, result)
+        record["new_phases"] = result.new_phases
         records.append(record)
     return records
 
@@ -113,19 +146,22 @@ def sweep_timeout_periods(
     profile: BenchmarkProfile,
     timeout_cycles: Iterable[float],
     max_instructions: int = 400_000,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """The §V-E timeout-period sweep (100 .. 100 K cycles)."""
-    full = run_simulation(
-        design, profile, GatingMode.FULL, max_instructions=max_instructions
-    )
-    records = []
-    for timeout in timeout_cycles:
-        managed = run_simulation(
-            design,
-            profile,
-            GatingMode.TIMEOUT,
-            max_instructions=max_instructions,
+    timeouts = list(timeout_cycles)
+    jobs = [
+        SimJob(
+            profile=profile,
+            design=design,
+            mode=GatingMode.TIMEOUT,
             timeout_cycles=timeout,
+            max_instructions=max_instructions,
         )
-        records.append(_compare_record(f"timeout={timeout:g}", full, managed))
-    return records
+        for timeout in timeouts
+    ]
+    full, managed = _run_with_baseline(design, profile, max_instructions, jobs, runner)
+    return [
+        _compare_record(f"timeout={timeout:g}", full, result)
+        for timeout, result in zip(timeouts, managed)
+    ]

@@ -1,5 +1,7 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
 
 from repro.core.config import PowerChopConfig
@@ -13,6 +15,23 @@ from repro.workloads.profiles import (
     build_workload,
 )
 from repro.workloads.mixes import GLOBAL_HEAVY, PREDICTABLE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    """Point the engine's on-disk result cache at a per-session directory.
+
+    Tier-1 tests still exercise both cache layers, but never read entries
+    written by a previous (possibly different) version of the code.
+    """
+    path = tmp_path_factory.mktemp("engine-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

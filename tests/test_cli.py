@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.sim.results import SimulationResult
 
 
 class TestCLI:
@@ -37,6 +40,41 @@ class TestCLI:
         assert main(["compare", "hmmer", "-n", "150000"]) == 0
         out = capsys.readouterr().out
         assert "powerchop" in out and "minimal" in out
+
+    def test_run_json_round_trips(self, capsys):
+        assert main(["run", "hmmer", "-n", "120000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "hmmer"
+        assert payload["derived"]["ipc"] > 0
+        restored = SimulationResult.from_dict(payload)
+        assert restored.to_dict() == payload
+
+    def test_compare_json(self, capsys):
+        assert main(["compare", "hmmer", "-n", "120000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["results"]) == {"full", "powerchop", "minimal"}
+        assert payload["comparison"]["full"]["slowdown"] == 0.0
+        full = SimulationResult.from_dict(payload["results"]["full"])
+        assert full.mode == "full"
+
+    def test_sweep_json_and_cache(self, capsys):
+        argv = [
+            "sweep", "hmmer", "namd",
+            "-m", "full,minimal", "-n", "80000", "-j", "1", "--json",
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert len(cold) == 4
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert all(entry["from_cache"] for entry in warm)
+        assert [e["result"] for e in warm] == [e["result"] for e in cold]
+
+    def test_sweep_table(self, capsys):
+        assert main(["sweep", "hmmer", "-n", "80000"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown/power_red" in out
+        assert "hmmer" in out
 
     def test_unknown_benchmark(self):
         with pytest.raises(KeyError):
