@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Determinism lint: reject nondeterministic randomness and unhashable job specs.
+
+The simulator's reproducibility rests on two conventions:
+
+1. All randomness flows through explicitly seeded generators —
+   ``random.Random(seed)`` instances or ``numpy.random.default_rng(seed)``.
+   Module-level draws (``random.random()``, ``np.random.rand()``, ...) pull
+   from ambient global state and silently break run-to-run determinism,
+   so this lint rejects them (rule D001).
+
+2. Cache keys in :mod:`repro.sim.engine` are derived from dataclass field
+   values, so the spec classes (``SimJob``, ``ProbeSpec`` and its
+   subclasses) must be ``frozen=True`` — a mutable spec could change
+   between hashing and execution and poison the result cache (rule D002).
+
+Usage:
+    python scripts/lint_determinism.py [paths ...]
+
+Defaults to scanning ``src/repro`` and ``scripts``.  Exits non-zero if any
+violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+DEFAULT_PATHS = ("src/repro", "scripts")
+
+#: ``random`` module attributes that draw from the global (unseeded) state.
+#: ``Random``/``SystemRandom`` construct independent generators and ``seed``
+#: is occasionally legitimate in scripts, so only the draw functions count.
+_RANDOM_DRAWS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Spec classes whose instances feed the engine's content-hash cache.
+_FROZEN_REQUIRED = frozenset({"SimJob", "ProbeSpec"})
+
+
+class Violation(Tuple[str, int, str, str]):
+    __slots__ = ()
+
+    def render(self) -> str:
+        path, lineno, code, message = self
+        return f"{path}:{lineno}: {code} {message}"
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name for an attribute chain (``np.random.rand``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.violations: List[Violation] = []
+        # Names the module binds to the random / numpy.random modules.
+        self.random_aliases = {"random"}
+        self.np_random_aliases = {"numpy.random"}
+        self.numpy_aliases = {"numpy"}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name == "random":
+                        self.random_aliases.add(bound)
+                    elif alias.name == "numpy":
+                        self.numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random":
+                        self.np_random_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        self.np_random_aliases.add(alias.asname or "random")
+        self.np_random_aliases |= {f"{np}.random" for np in self.numpy_aliases}
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(
+            Violation((self.path, node.lineno, code, message))
+        )
+
+    # -- D001: unseeded randomness ------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _RANDOM_DRAWS:
+                    self._flag(
+                        node,
+                        "D001",
+                        f"'from random import {alias.name}' draws from the "
+                        "global RNG; use a seeded random.Random instance",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name:
+            head, _, tail = name.rpartition(".")
+            if head in self.random_aliases and tail in _RANDOM_DRAWS:
+                self._flag(
+                    node,
+                    "D001",
+                    f"module-level '{name}()' is unseeded; draw from a "
+                    "random.Random(seed) instance instead",
+                )
+            elif head in self.np_random_aliases and tail != "default_rng":
+                self._flag(
+                    node,
+                    "D001",
+                    f"'{name}()' uses numpy's global RNG; use "
+                    "numpy.random.default_rng(seed)",
+                )
+        self.generic_visit(node)
+
+    # -- D002: engine spec dataclasses must be frozen -----------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        must_freeze = node.name in _FROZEN_REQUIRED or any(
+            base in _FROZEN_REQUIRED
+            for base in (_dotted(b).rpartition(".")[2] for b in node.bases)
+        )
+        if must_freeze:
+            decorated = False
+            frozen = False
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                if _dotted(target).rpartition(".")[2] != "dataclass":
+                    continue
+                decorated = True
+                if isinstance(deco, ast.Call):
+                    frozen = any(
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                        for kw in deco.keywords
+                    )
+            if decorated and not frozen:
+                self._flag(
+                    node,
+                    "D002",
+                    f"dataclass '{node.name}' feeds the engine result cache "
+                    "and must be declared @dataclass(frozen=True)",
+                )
+        self.generic_visit(node)
+
+
+def iter_sources(paths: List[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.is_file() and path.suffix == ".py":
+            yield path
+        else:
+            # A typo'd path scanning zero files must not pass silently.
+            raise SystemExit(f"determinism lint: no such file or directory: {raw}")
+
+
+def lint_file(path: Path) -> List[Violation]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    linter = _Linter(str(path), tree)
+    linter.visit(tree)
+    return linter.violations
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or list(DEFAULT_PATHS)
+    violations: List[Violation] = []
+    n_files = 0
+    for source in iter_sources(paths):
+        n_files += 1
+        violations.extend(lint_file(source))
+    for violation in violations:
+        print(violation.render())
+    status = "FAIL" if violations else "ok"
+    print(
+        f"determinism lint: {n_files} file(s), "
+        f"{len(violations)} violation(s) [{status}]"
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from repro.sim import (
     ResultCache,
     SimJob,
     SimulationResult,
+    StaticHintsProbe,
     SweepRunner,
     UnitActivityProbe,
     energy_reduction,
@@ -47,6 +48,7 @@ from repro.sim import (
     run_simulation,
     slowdown,
 )
+from repro.staticcheck import StaticHints, analyze_profile, build_hints
 from repro.uarch import MOBILE, SERVER, DesignPoint, design_by_name
 from repro.uarch.config import design_for_suite
 from repro.workloads import (
@@ -77,7 +79,11 @@ __all__ = [
     "run_jobs",
     "IPCSeriesProbe",
     "PhaseLogProbe",
+    "StaticHintsProbe",
     "UnitActivityProbe",
+    "StaticHints",
+    "build_hints",
+    "analyze_profile",
     "slowdown",
     "power_reduction",
     "energy_reduction",

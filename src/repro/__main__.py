@@ -2,11 +2,14 @@
 
 Commands:
 
-- ``list``     — list the 29 benchmark profiles and their suites.
-- ``run``      — simulate one benchmark under one gating mode.
-- ``compare``  — full-power vs PowerChop vs minimal on one benchmark.
-- ``sweep``    — run a benchmark x mode batch through the parallel engine.
-- ``designs``  — print the two Table I design points.
+- ``list``        — list the 29 benchmark profiles and their suites.
+- ``run``         — simulate one benchmark under one gating mode.
+- ``compare``     — full-power vs PowerChop vs minimal on one benchmark.
+- ``sweep``       — run a benchmark x mode batch through the parallel engine.
+- ``designs``     — print the two Table I design points.
+- ``staticcheck`` — static-analysis report (CFG verification + dataflow
+  summaries) over workload profiles; exits non-zero on errors (or, with
+  ``--strict``, warnings).
 
 ``run``, ``compare`` and ``sweep`` accept ``--json`` for machine-readable
 output; ``sweep`` accepts ``--jobs N`` (default: ``REPRO_JOBS``) to fan the
@@ -220,6 +223,38 @@ def cmd_designs(_args) -> int:
     return 0
 
 
+def cmd_staticcheck(args) -> int:
+    from repro.staticcheck import Severity, analyze_profile
+
+    names = args.workload or [p.name for p in ALL_BENCHMARKS]
+    analyses = [analyze_profile(get_profile(name)) for name in names]
+    n_errors = sum(a.n_errors for a in analyses)
+    n_warnings = sum(a.n_warnings for a in analyses)
+    failed = n_errors > 0 or (args.strict and n_warnings > 0)
+
+    if args.json:
+        payload = {
+            "profiles": [a.to_dict() for a in analyses],
+            "errors": n_errors,
+            "warnings": n_warnings,
+            "ok": not failed,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if failed else 0
+
+    for analysis in analyses:
+        print(analysis.render(verbose=args.verbose))
+    vpu_dead = sum(len(a.vpu_dead_regions) for a in analyses)
+    regions = sum(len(a.regions) for a in analyses)
+    infos = sum(a.count(Severity.INFO) for a in analyses)
+    print(
+        f"{len(analyses)} profile(s), {regions} region(s): "
+        f"{n_errors} error(s), {n_warnings} warning(s), {infos} note(s); "
+        f"{vpu_dead} region(s) statically VPU-dead"
+    )
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="PowerChop (ISCA 2016) reproduction"
@@ -290,6 +325,36 @@ def main(argv=None) -> int:
     sub.add_parser("designs", help="print Table I design points").set_defaults(
         func=cmd_designs
     )
+
+    static_parser = sub.add_parser(
+        "staticcheck",
+        help="CFG verification + static dataflow report over workload profiles",
+    )
+    static_parser.add_argument(
+        "-w",
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="benchmark profile to analyze (repeatable; default: all 29)",
+    )
+    static_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors (non-zero exit)",
+    )
+    static_parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="include per-region dataflow summaries and informational notes",
+    )
+    static_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full machine-readable report",
+    )
+    static_parser.set_defaults(func=cmd_staticcheck)
 
     args = parser.parse_args(argv)
     return args.func(args)

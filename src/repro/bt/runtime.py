@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.bt.interpreter import Interpreter
 from repro.bt.nucleus import Nucleus
@@ -11,6 +11,9 @@ from repro.bt.region_cache import RegionCache, Translation
 from repro.bt.translator import Translator
 from repro.isa.blocks import BasicBlock, CodeRegion
 from repro.uarch.config import DesignPoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.hints import StaticHints
 
 
 class ExecMode(Enum):
@@ -30,13 +33,22 @@ class BTRuntime:
     is the event PowerChop's HTB observes (§IV-B2).
     """
 
-    def __init__(self, design: DesignPoint, regions: Dict[int, CodeRegion]) -> None:
+    def __init__(
+        self,
+        design: DesignPoint,
+        regions: Dict[int, CodeRegion],
+        static_hints: Optional["StaticHints"] = None,
+    ) -> None:
         self.design = design
         self.regions = dict(regions)
+        self.static_hints = static_hints
         self.region_cache = RegionCache()
         self.interpreter = Interpreter(design.hot_threshold)
-        self.translator = Translator(design.max_translation_blocks)
+        self.translator = Translator(
+            design.max_translation_blocks, static_hints=static_hints
+        )
         self.nucleus = Nucleus()
+        self.nucleus.static_hints = static_hints
         self._current: Optional[Translation] = None
         self._pos = 0
         self.translation_cycles = 0.0

@@ -44,7 +44,12 @@ class PowerChopController:
         self.accountant = accountant
         self.htb = HotTranslationBuffer(config.htb_entries, config.window_size)
         self.pvt = PolicyVectorTable(config.pvt_entries)
-        self.cde = CriticalityDecisionEngine(config, design)
+        # The BT runtime publishes the workload's static-analysis facts on
+        # the nucleus (the CDE's entry path); the CDE itself decides whether
+        # the config lets it honour them.
+        self.cde = CriticalityDecisionEngine(
+            config, design, static_hints=getattr(nucleus, "static_hints", None)
+        )
 
         self._measuring: Optional[PhaseSignature] = None
         #: Set when arming a measurement window required upsizing the MLC or
@@ -200,6 +205,15 @@ class PowerChopController:
         design = self.design
         cycles = 0.0
         self._measure_warming = False
+
+        if payload.vpu_on != core.states.vpu_on:
+            # Only the static pre-pass arms a measurement window with the
+            # VPU in a different state (gated, for a statically VPU-dead
+            # phase); powering *down* needs no warmup window.
+            cycles += design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            core.apply_vpu_state(payload.vpu_on)
+            if self.accountant is not None:
+                self.accountant.on_switch("vpu", payload.vpu_on, now_cycles)
 
         core.bpu.force_small = not payload.bpu_on
         if payload.bpu_on and not core.states.bpu_large_on:

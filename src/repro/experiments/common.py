@@ -11,7 +11,7 @@ from repro.sim import engine
 from repro.sim.probes import IPCSeriesProbe
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import GatingMode, HybridSimulator
-from repro.uarch.config import MOBILE, SERVER, DesignPoint, design_for_suite
+from repro.uarch.config import DesignPoint, design_for_suite
 from repro.workloads.profiles import BenchmarkProfile, build_workload
 from repro.workloads.suites import get_profile
 

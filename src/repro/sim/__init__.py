@@ -21,6 +21,7 @@ from repro.sim.probes import (
     PhaseLogProbe,
     ProbeSpec,
     ProbeState,
+    StaticHintsProbe,
     UnitActivityProbe,
 )
 from repro.sim.sweep import (
@@ -50,6 +51,7 @@ __all__ = [
     "ProbeState",
     "IPCSeriesProbe",
     "PhaseLogProbe",
+    "StaticHintsProbe",
     "UnitActivityProbe",
     "sweep_powerchop_thresholds",
     "sweep_timeout_periods",

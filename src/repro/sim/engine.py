@@ -53,8 +53,9 @@ __all__ = [
 ]
 
 #: Bump when result semantics or the cache schema change; stale entries
-#: from older schema/code versions are treated as misses.
-CACHE_SCHEMA_VERSION = 1
+#: from older schema/code versions are treated as misses.  v2: POWERCHOP
+#: results gained the static-pre-pass counters in ``extra``.
+CACHE_SCHEMA_VERSION = 2
 
 _MANAGED_UNITS = ("vpu", "bpu", "mlc")
 

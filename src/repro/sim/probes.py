@@ -27,6 +27,7 @@ __all__ = [
     "ProbeState",
     "IPCSeriesProbe",
     "PhaseLogProbe",
+    "StaticHintsProbe",
     "UnitActivityProbe",
 ]
 
@@ -196,3 +197,59 @@ class _UnitActivityState(ProbeState):
 
     def value(self) -> List[list]:
         return self.samples
+
+
+# ------------------------------------------------------------ static hints
+
+
+@dataclass(frozen=True)
+class StaticHintsProbe(ProbeSpec):
+    """Static pre-pass effectiveness and the CDE's decided policy map.
+
+    POWERCHOP only.  The value reports how much dynamic profiling the
+    static criticality pre-pass eliminated (``vpu_windows_skipped`` —
+    profiling windows that ran with the VPU statically gated where
+    dynamic-only profiling would have kept it powered) plus the full
+    ``decided_policies`` map ``[[signature, [vpu_on, bpu_on, mlc_ways]],
+    ...]`` so A/B experiments can assert bit-identical policy decisions
+    between hinted and dynamic-only runs.
+    """
+
+    @property
+    def name(self) -> str:
+        return "static_hints"
+
+    def build(self) -> "_StaticHintsState":
+        return _StaticHintsState()
+
+
+class _StaticHintsState(ProbeState):
+    name = "static_hints"
+
+    def __init__(self) -> None:
+        self.data: dict = {"enabled": False}
+
+    def finish(self, simulator, result) -> None:
+        controller = simulator.controller
+        if controller is None:
+            return
+        cde = controller.cde
+        hints = cde.hints
+        self.data = {
+            "enabled": hints is not None,
+            "vpu_dead_regions": sorted(hints.vpu_dead_regions)
+            if hints is not None
+            else [],
+            "static_vpu_phases": cde.static_vpu_phases,
+            "vpu_windows_skipped": cde.static_vpu_windows_skipped,
+            "decided_policies": [
+                [
+                    list(signature),
+                    [int(policy.vpu_on), int(policy.bpu_on), int(policy.mlc_ways)],
+                ]
+                for signature, policy in cde.decided_policies()
+            ],
+        }
+
+    def value(self) -> dict:
+        return self.data

@@ -11,6 +11,7 @@ from repro.core.controller import PowerChopController
 from repro.core.timeout import TimeoutVPUController
 from repro.power.accounting import EnergyAccounting
 from repro.sim.results import SimulationResult
+from repro.staticcheck.hints import build_hints
 from repro.uarch.config import DesignPoint
 from repro.uarch.core import CoreModel
 from repro.workloads.generator import SyntheticWorkload
@@ -48,7 +49,16 @@ class HybridSimulator:
         self.workload = workload
         self.mode = mode
         self.core = CoreModel(design)
-        self.bt = BTRuntime(design, regions_of(workload))
+
+        config: Optional[PowerChopConfig] = None
+        static_hints = None
+        if mode is GatingMode.POWERCHOP:
+            config = powerchop_config or PowerChopConfig()
+            if config.use_static_hints:
+                # The ahead-of-execution pass the binary translator could
+                # run over every region it will ever translate.
+                static_hints = build_hints(regions_of(workload))
+        self.bt = BTRuntime(design, regions_of(workload), static_hints=static_hints)
 
         if mode is GatingMode.MINIMAL:
             self.core.apply_vpu_state(False)
@@ -62,8 +72,9 @@ class HybridSimulator:
         self.controller: Optional[PowerChopController] = None
         self.timeout_controller: Optional[TimeoutVPUController] = None
         if mode is GatingMode.POWERCHOP:
+            assert config is not None
             self.controller = PowerChopController(
-                powerchop_config or PowerChopConfig(),
+                config,
                 design,
                 self.core,
                 self.bt.nucleus,
@@ -176,6 +187,12 @@ class HybridSimulator:
             result.pvt_evictions = controller.pvt.evictions
             result.cde_invocations = controller.cde.invocations
             result.new_phases = controller.cde.new_phases
+            result.extra["static_vpu_phases"] = float(
+                controller.cde.static_vpu_phases
+            )
+            result.extra["static_vpu_windows_skipped"] = float(
+                controller.cde.static_vpu_windows_skipped
+            )
         return result
 
 

@@ -1,0 +1,218 @@
+"""CFG verification for :class:`~repro.isa.blocks.CodeRegion` graphs.
+
+:class:`~repro.isa.blocks.CodeRegion` validates successor ranges at
+construction time, but blocks are mutable (the workload generator rewires
+successors and swaps branch models after construction), so a region can
+drift into a malformed state that the constructor never sees.  The verifier
+re-checks every structural invariant the simulator relies on:
+
+- ``E-SUCC-RANGE``   — a successor index falls outside the block list.
+- ``E-ENTRY-RANGE``  — the region entry index falls outside the block list.
+- ``E-BRANCH-MIX``   — ``mix.has_branch`` disagrees with the presence of a
+  :class:`~repro.isa.branches.StaticBranch` (the trace generator and the
+  translator would disagree about the block's control flow).
+- ``E-BRANCH-PC``    — the branch instruction's PC lies outside the block's
+  ``[pc, pc + (n_instr - 1) * INSTR_BYTES]`` byte range.
+- ``E-DUP-PC``       — two blocks share a PC; the translator's trace-follow
+  logic and the region cache key on PCs, so duplicates alias translations.
+- ``E-PC-OVERLAP``   — two blocks' instruction byte ranges overlap without
+  sharing a start PC (a layout bug in the region builder).
+- ``W-PC-ALIGN``     — a block PC is not ``INSTR_BYTES``-aligned.
+- ``W-UNCOND-DIVERGE`` — an unconditional block whose ``taken_succ`` differs
+  from ``fall_succ``; ``next_block`` ignores ``taken_succ``, so the edge is
+  dead and probably a wiring mistake.
+- ``W-UNREACHABLE``  — a block no path from the region entry reaches.
+- ``W-NO-RETURN``    — a reachable block from which control can never return
+  to the region entry.  Synthetic regions are closed loops re-entered at
+  ``entry`` (the phase scheduler's analogue of the region exit), so a
+  subgraph that cannot reach the entry traps execution for the rest of the
+  phase and starves every other block's visit frequency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.isa.blocks import INSTR_BYTES, CodeRegion
+from repro.staticcheck.diagnostics import Diagnostic, error, warning
+
+__all__ = ["verify_region", "block_successors", "reachable_blocks"]
+
+
+def block_successors(region: CodeRegion, index: int) -> List[int]:
+    """In-range successor indices of one block, as ``next_block`` resolves
+    them (unconditional blocks only ever fall through)."""
+    block = region.blocks[index]
+    n = len(region.blocks)
+    if block.branch is None:
+        succs = [block.fall_succ]
+    elif block.taken_succ == block.fall_succ:
+        succs = [block.fall_succ]
+    else:
+        succs = [block.taken_succ, block.fall_succ]
+    return [s for s in succs if isinstance(s, int) and 0 <= s < n]
+
+
+def reachable_blocks(region: CodeRegion) -> Set[int]:
+    """Indices of blocks reachable from the region entry."""
+    n = len(region.blocks)
+    if not 0 <= region.entry < n:
+        return set()
+    seen = {region.entry}
+    stack = [region.entry]
+    while stack:
+        for succ in block_successors(region, stack.pop()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def _entry_reaching_blocks(region: CodeRegion, reachable: Set[int]) -> Set[int]:
+    """Blocks (within ``reachable``) from which the entry can be reached."""
+    predecessors: dict[int, List[int]] = {i: [] for i in reachable}
+    for i in reachable:
+        for succ in block_successors(region, i):
+            if succ in predecessors:
+                predecessors[succ].append(i)
+    seen = {region.entry} if region.entry in reachable else set()
+    stack = list(seen)
+    while stack:
+        for pred in predecessors[stack.pop()]:
+            if pred not in seen:
+                seen.add(pred)
+                stack.append(pred)
+    return seen
+
+
+def verify_region(region: CodeRegion) -> List[Diagnostic]:
+    """Check every structural invariant; returns diagnostics (empty = clean)."""
+    diags: List[Diagnostic] = []
+    rid = region.region_id
+    blocks = region.blocks
+    n = len(blocks)
+
+    entry_ok = isinstance(region.entry, int) and 0 <= region.entry < n
+    if not entry_ok:
+        diags.append(
+            error(
+                "E-ENTRY-RANGE",
+                f"entry index {region.entry} outside block list of size {n}",
+                rid,
+            )
+        )
+
+    for i, block in enumerate(blocks):
+        for edge, succ in (("taken", block.taken_succ), ("fall", block.fall_succ)):
+            if not isinstance(succ, int) or not 0 <= succ < n:
+                diags.append(
+                    error(
+                        "E-SUCC-RANGE",
+                        f"{edge} successor {succ} outside block list of size {n}",
+                        rid,
+                        i,
+                    )
+                )
+        has_model = block.branch is not None
+        if block.mix.has_branch != has_model:
+            diags.append(
+                error(
+                    "E-BRANCH-MIX",
+                    "mix.has_branch="
+                    f"{block.mix.has_branch} but block "
+                    f"{'carries' if has_model else 'lacks'} a branch model; "
+                    "the trace generator and translator would disagree about "
+                    "this block's control flow",
+                    rid,
+                    i,
+                )
+            )
+        if has_model:
+            low = block.pc
+            high = block.pc + max(block.n_instr - 1, 0) * INSTR_BYTES
+            if not low <= block.branch.pc <= high:
+                diags.append(
+                    error(
+                        "E-BRANCH-PC",
+                        f"branch pc {block.branch.pc:#x} outside block byte "
+                        f"range [{low:#x}, {high:#x}]",
+                        rid,
+                        i,
+                    )
+                )
+        elif block.taken_succ != block.fall_succ:
+            diags.append(
+                warning(
+                    "W-UNCOND-DIVERGE",
+                    f"unconditional block has taken_succ={block.taken_succ} != "
+                    f"fall_succ={block.fall_succ}; the taken edge is dead",
+                    rid,
+                    i,
+                )
+            )
+        if block.pc % INSTR_BYTES:
+            diags.append(
+                warning(
+                    "W-PC-ALIGN",
+                    f"block pc {block.pc:#x} not {INSTR_BYTES}-byte aligned",
+                    rid,
+                    i,
+                )
+            )
+
+    # Layout: duplicate PCs, then byte-range overlaps among distinct starts.
+    by_pc: dict[int, List[int]] = {}
+    for i, block in enumerate(blocks):
+        by_pc.setdefault(block.pc, []).append(i)
+    for pc, indices in sorted(by_pc.items()):
+        if len(indices) > 1:
+            diags.append(
+                error(
+                    "E-DUP-PC",
+                    f"blocks {indices} share pc {pc:#x}; translations and the "
+                    "trace-follow logic key on block PCs",
+                    rid,
+                    indices[1],
+                )
+            )
+    spans = sorted(
+        (block.pc, block.pc + block.n_instr * INSTR_BYTES, i)
+        for i, block in enumerate(blocks)
+    )
+    for (lo_a, hi_a, a), (lo_b, _hi_b, b) in zip(spans, spans[1:]):
+        if lo_b < hi_a and lo_b != lo_a:
+            diags.append(
+                error(
+                    "E-PC-OVERLAP",
+                    f"block {b} at {lo_b:#x} starts inside block {a}'s byte "
+                    f"range [{lo_a:#x}, {hi_a:#x})",
+                    rid,
+                    b,
+                )
+            )
+
+    # Reachability (meaningful only once the entry index is valid).
+    if entry_ok:
+        reachable = reachable_blocks(region)
+        for i in range(n):
+            if i not in reachable:
+                diags.append(
+                    warning(
+                        "W-UNREACHABLE",
+                        "no path from the region entry reaches this block",
+                        rid,
+                        i,
+                    )
+                )
+        returning = _entry_reaching_blocks(region, reachable)
+        for i in sorted(reachable - returning):
+            diags.append(
+                warning(
+                    "W-NO-RETURN",
+                    "control entering this block can never return to the "
+                    "region entry; the subgraph traps the rest of the phase",
+                    rid,
+                    i,
+                )
+            )
+    return diags

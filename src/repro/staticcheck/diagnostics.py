@@ -1,0 +1,65 @@
+"""Diagnostic records emitted by the static-analysis passes.
+
+Every pass reports through the same vocabulary: a :class:`Diagnostic` pins a
+finding to a region (and optionally a block index) with a stable code and a
+:class:`Severity`.  Codes starting with ``E`` are errors (the region would
+misbehave under simulation), ``W`` are warnings (suspicious but executable),
+``I`` are informational facts other subsystems may exploit (e.g. a statically
+VPU-dead region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+
+class Severity(Enum):
+    """Diagnostic severity, ordered ERROR > WARNING > INFO."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass."""
+
+    severity: Severity
+    code: str
+    message: str
+    region_id: int = -1
+    block: Optional[int] = None
+
+    def render(self) -> str:
+        location = f"region {self.region_id}"
+        if self.block is not None:
+            location += f" block {self.block}"
+        return f"{self.severity.value:<7} {self.code} [{location}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity.value,
+            "code": self.code,
+            "message": self.message,
+            "region_id": self.region_id,
+            "block": self.block,
+        }
+
+
+def error(code: str, message: str, region_id: int = -1, block: Optional[int] = None) -> Diagnostic:
+    return Diagnostic(Severity.ERROR, code, message, region_id, block)
+
+
+def warning(code: str, message: str, region_id: int = -1, block: Optional[int] = None) -> Diagnostic:
+    return Diagnostic(Severity.WARNING, code, message, region_id, block)
+
+
+def info(code: str, message: str, region_id: int = -1, block: Optional[int] = None) -> Diagnostic:
+    return Diagnostic(Severity.INFO, code, message, region_id, block)

@@ -1,0 +1,70 @@
+"""Static criticality hints: the bridge from analysis to the CDE.
+
+PowerChop's CDE normally decides VPU criticality by measuring the SIMD
+commit ratio over a profiling window.  The binary translator, however, sees
+every region's code *before* it runs: when no reachable block of a region
+contains a vector instruction, the dataflow pass proves the VPU non-critical
+for any phase confined to that region, and the measurement is redundant.
+
+:class:`StaticHints` carries that proof to runtime.  It is built once per
+simulation from the workload's regions (see
+:meth:`repro.sim.simulator.HybridSimulator`), threaded through the BT: the
+translator notes each translation it builds (mapping translation IDs back to
+their region's proof bit), the nucleus publishes the structure to interrupt
+handlers, and the CDE — entered via the ``pvt_miss`` interrupt — asks
+whether a phase signature's constituent translations are all VPU-dead.  When
+they are, the CDE skips the VPU measurement and gates the unit for the
+profiling windows themselves (``PowerChopConfig.use_static_hints``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.isa.blocks import CodeRegion
+from repro.staticcheck.dataflow import RegionSummary, summarize_region
+
+__all__ = ["StaticHints", "build_hints"]
+
+
+class StaticHints:
+    """Per-workload static-analysis facts, queryable by phase signature."""
+
+    __slots__ = ("summaries", "vpu_dead_regions", "_tid_vpu_dead", "translations_noted")
+
+    def __init__(self, summaries: Mapping[int, RegionSummary]) -> None:
+        self.summaries: Dict[int, RegionSummary] = dict(summaries)
+        self.vpu_dead_regions = frozenset(
+            region_id for region_id, summary in self.summaries.items() if summary.vpu_dead
+        )
+        self._tid_vpu_dead: Dict[int, bool] = {}
+        self.translations_noted = 0
+
+    def note_translation(self, translation) -> None:
+        """Record one freshly-built translation (called by the translator).
+
+        A translation is VPU-dead when its region is statically proven so;
+        ``n_vector == 0`` is re-checked as a consistency belt (a VPU-dead
+        region cannot produce a vector-carrying translation).
+        """
+        self._tid_vpu_dead[translation.tid] = (
+            translation.region_id in self.vpu_dead_regions and translation.n_vector == 0
+        )
+        self.translations_noted += 1
+
+    def signature_vpu_dead(self, signature: Iterable[int]) -> bool:
+        """True when every translation in the signature is known VPU-dead.
+
+        Unknown translation IDs count as *not* proven — the hint must never
+        gate a unit it cannot vouch for.
+        """
+        tids = tuple(signature)
+        known = self._tid_vpu_dead
+        return bool(tids) and all(known.get(tid, False) for tid in tids)
+
+
+def build_hints(regions: Mapping[int, CodeRegion]) -> StaticHints:
+    """Run the dataflow pass over every region and package the results."""
+    return StaticHints(
+        {region_id: summarize_region(region) for region_id, region in regions.items()}
+    )

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.config import PowerChopConfig
 from repro.sim.simulator import GatingMode, HybridSimulator
-from repro.uarch.config import MOBILE, SERVER
+from repro.uarch.config import SERVER
 from repro.workloads.generator import MemoryBehavior
 from repro.workloads.profiles import (
     BenchmarkProfile,

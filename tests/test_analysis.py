@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.metrics import geomean, mean, suite_means, weighted_mean
-from repro.analysis.phases import PhaseQuality, manhattan_distance, phase_quality
+from repro.analysis.phases import manhattan_distance, phase_quality
 from repro.analysis.report import format_bars, format_table
 
 

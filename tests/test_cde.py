@@ -1,10 +1,7 @@
 """Tests for the Criticality Decision Engine (Algorithm 1)."""
 
-import pytest
-
 from repro.core.cde import CriticalityDecisionEngine, WindowStats
 from repro.core.config import PowerChopConfig
-from repro.core.criticality import CriticalityThresholds
 from repro.uarch.config import SERVER
 
 SIG = (1, 2, 3, 4)

@@ -1,7 +1,5 @@
 """Tests for the experiment harness (small-scale, fast variants)."""
 
-import os
-
 import pytest
 
 from repro.experiments import common

@@ -1,7 +1,5 @@
 """Tests for the extended 4-state MLC gating policy (§IV-B3 extension)."""
 
-import pytest
-
 from repro.core.config import PowerChopConfig
 from repro.core.criticality import (
     CriticalityScores,
@@ -9,7 +7,7 @@ from repro.core.criticality import (
     decide_policy,
 )
 from repro.sim.simulator import GatingMode, run_simulation
-from repro.uarch.config import MOBILE, SERVER
+from repro.uarch.config import SERVER
 from repro.workloads.generator import MemoryBehavior
 from repro.workloads.mixes import PREDICTABLE
 from repro.workloads.profiles import BenchmarkProfile, PhaseDecl, RegionSpec

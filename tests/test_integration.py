@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.config import PowerChopConfig
 from repro.sim.results import leakage_reduction, power_reduction, slowdown
-from repro.sim.simulator import GatingMode, HybridSimulator, run_simulation
+from repro.sim.simulator import GatingMode, run_simulation
 from repro.uarch.config import MOBILE, SERVER
 from repro.workloads.generator import MemoryBehavior
 from repro.workloads.mixes import NOISY, PREDICTABLE
@@ -13,7 +13,6 @@ from repro.workloads.profiles import (
     BenchmarkProfile,
     PhaseDecl,
     RegionSpec,
-    build_workload,
 )
 
 N = 600_000

@@ -2,12 +2,10 @@
 
 import io
 
-import pytest
-
 from repro.sim.simulator import GatingMode, run_simulation
 from repro.uarch.config import SERVER
 from repro.uarch.core import CoreModel
-from repro.workloads.generator import MemoryBehavior, PhaseSpec
+from repro.workloads.generator import MemoryBehavior
 from repro.workloads.profiles import build_workload
 from repro.workloads.trace_io import export_trace, load_trace, replay_through_core
 

@@ -4,8 +4,6 @@ Each test reproduces, at unit scale, a specific behaviour the paper calls
 out in prose — the 'spec sheet' of PowerChop.
 """
 
-import pytest
-
 from repro.bt.nucleus import Nucleus
 from repro.bt.region_cache import Translation
 from repro.core.config import PowerChopConfig

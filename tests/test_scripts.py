@@ -3,8 +3,6 @@
 import runpy
 import sys
 
-import pytest
-
 
 class TestProfileSimulator:
     def test_throughput_helper(self):
@@ -26,6 +24,77 @@ class TestProfileSimulator:
         out = capsys.readouterr().out
         assert "guest-instructions/s" in out
         assert "powerchop" in out
+
+
+class TestDeterminismLint:
+    def _lint(self):
+        sys.path.insert(0, "scripts")
+        try:
+            import lint_determinism
+        finally:
+            sys.path.pop(0)
+        return lint_determinism
+
+    def _codes(self, lint, source, tmp_path):
+        bad = tmp_path / "case.py"
+        bad.write_text(source)
+        return [v[2] for v in lint.lint_file(bad)]
+
+    def test_repo_is_clean(self, capsys):
+        lint = self._lint()
+        assert lint.main(["src/repro", "scripts"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_flags_unseeded_module_level_draws(self, tmp_path):
+        lint = self._lint()
+        assert self._codes(
+            lint, "import random\nx = random.random()\n", tmp_path
+        ) == ["D001"]
+        assert self._codes(
+            lint, "from random import shuffle\n", tmp_path
+        ) == ["D001"]
+        assert self._codes(
+            lint, "import numpy as np\nx = np.random.rand(3)\n", tmp_path
+        ) == ["D001"]
+
+    def test_allows_seeded_generators(self, tmp_path):
+        lint = self._lint()
+        source = (
+            "import random\nimport numpy as np\n"
+            "rng = random.Random(7)\nx = rng.random()\n"
+            "g = np.random.default_rng(7)\n"
+        )
+        assert self._codes(lint, source, tmp_path) == []
+
+    def test_flags_unfrozen_spec_dataclasses(self, tmp_path):
+        lint = self._lint()
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\nclass SimJob:\n    a: int = 0\n"
+        )
+        assert self._codes(lint, source, tmp_path) == ["D002"]
+        frozen = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\nclass SimJob:\n    a: int = 0\n"
+        )
+        assert self._codes(lint, frozen, tmp_path) == []
+
+    def test_flags_unfrozen_probe_subclasses(self, tmp_path):
+        lint = self._lint()
+        source = (
+            "from dataclasses import dataclass\n"
+            "from repro.sim.probes import ProbeSpec\n"
+            "@dataclass\nclass MyProbe(ProbeSpec):\n    a: int = 0\n"
+        )
+        assert self._codes(lint, source, tmp_path) == ["D002"]
+
+    def test_main_exits_nonzero_on_violation(self, tmp_path, capsys):
+        lint = self._lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.randint(0, 9)\n")
+        assert lint.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "D001" in out and "bad.py" in out
 
 
 class TestGenerateExperimentsScript:

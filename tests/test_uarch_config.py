@@ -7,8 +7,6 @@ import pytest
 from repro.uarch.config import (
     MOBILE,
     SERVER,
-    BPUParams,
-    DesignPoint,
     design_by_name,
     design_for_suite,
 )

@@ -172,8 +172,6 @@ class TestSyntheticWorkload:
         assert not (slots[0] & slots[1])
 
     def test_unknown_phase_in_schedule_rejected(self, tiny_profile):
-        from repro.workloads.generator import PhaseSpec
-
         workload = build_workload(tiny_profile)
         with pytest.raises(ValueError):
             SyntheticWorkload(
