@@ -1,0 +1,117 @@
+"""Observability overhead and full-coverage identity checks (slow).
+
+Two guarantees the tracer design makes:
+
+1. ``obs_level="off"`` costs at most one dead branch per emission site —
+   measured directly (guard micro-benchmark) and as end-to-end wall
+   clock, the projected overhead must stay under 2 %.
+2. Observability never perturbs simulation: off vs full results are
+   bit-identical on *all 29* benchmark profiles (tier-1 samples 5; this
+   is the exhaustive sweep).
+"""
+
+import time
+import timeit
+
+import pytest
+
+from repro.core.config import PowerChopConfig
+from repro.obs.tracer import NULL_TRACER
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import design_for_suite
+from repro.workloads.profiles import build_workload
+from repro.workloads.suites import ALL_BENCHMARKS, get_profile
+
+pytestmark = pytest.mark.slow
+
+_QUICK = PowerChopConfig(window_size=100, warmup_windows=1)
+
+
+def _run(name, obs_level, seed=7, max_instructions=200_000):
+    profile = get_profile(name)
+    simulator = HybridSimulator(
+        design_for_suite(profile.suite),
+        build_workload(profile, seed),
+        GatingMode.POWERCHOP,
+        powerchop_config=_QUICK,
+        obs_level=obs_level,
+    )
+    result = simulator.run(max_instructions)
+    return simulator, result
+
+
+def test_guard_cost_projects_under_two_percent():
+    """The one-branch guard, measured, as a fraction of real run time."""
+    # Cost of one `if tracer.active:` check (attribute load + branch).
+    checks = 1_000_000
+    guard_s = timeit.timeit(
+        "tracer.active", globals={"tracer": NULL_TRACER}, number=checks
+    )
+    per_check_s = guard_s / checks
+
+    # A real off-level run, timed, with its dynamic block count.
+    start = time.perf_counter()
+    simulator, _result = _run("bzip2", "off", max_instructions=1_000_000)
+    run_s = time.perf_counter() - start
+    # Conservative: charge 8 guard checks to every dynamic block (the
+    # instrumented components hold ~6 emission sites between them, and
+    # most fire at most once per window, not per block).
+    blocks = max(simulator.bt.translated_blocks,
+                 simulator.core.counters.instructions // 4)
+    projected = blocks * 8 * per_check_s
+    overhead = projected / run_s
+    print(
+        f"\nguard: {per_check_s * 1e9:.1f} ns/check; run {run_s:.2f}s, "
+        f"~{blocks:,} blocks -> projected overhead {overhead:.3%}"
+    )
+    assert overhead < 0.02
+
+
+def test_off_wallclock_not_slower_than_full():
+    """Off-level wall clock sits at (or below) the full-level floor.
+
+    There is no pre-observability binary to diff against, and on shared
+    CI machines even two *identical* off-level runs drift 5-15 % apart,
+    so an equality assertion here would be pure flake.  The enforceable
+    claim is one-sided: "off" does strictly less work than "full", so
+    its best-of-N wall clock must not exceed the full-level floor.  The real <2 % bound is pinned by the guard-projection test
+    above; the drift between off samples is printed as a diagnostic.
+    """
+    def timed(obs_level):
+        start = time.perf_counter()
+        _run("bzip2", obs_level, max_instructions=500_000)
+        return time.perf_counter() - start
+
+    timed("off")  # warm caches/imports
+    # Interleave samples so machine-load drift hits both levels equally;
+    # aggregate with min (the run least disturbed by the environment).
+    off, full = [], []
+    for _ in range(8):
+        off.append(timed("off"))
+        off.append(timed("off"))
+        full.append(timed("full"))
+    spread = (max(off) - min(off)) / min(off)
+    print(
+        f"\noff floor: {min(off):.3f}s (spread {spread:.2%} over "
+        f"{len(off)} samples); full floor: {min(full):.3f}s"
+    )
+    # 10 % allowance absorbs residual noise in the full-level floor; a
+    # regression that made the dead guards cost real time would push the
+    # off floor *above* full and trip this.
+    assert min(off) <= min(full) * 1.10
+
+
+def _comparable(result):
+    data = result.to_dict()
+    data.pop("metrics")
+    return data
+
+
+@pytest.mark.parametrize(
+    "profile_name", [p.name for p in ALL_BENCHMARKS]
+)
+def test_off_vs_full_identity_all_profiles(profile_name):
+    """Exhaustive version of tests/test_obs_identity.py's sampled check."""
+    _sim_off, off = _run(profile_name, "off", max_instructions=150_000)
+    _sim_full, full = _run(profile_name, "full", max_instructions=150_000)
+    assert _comparable(off) == _comparable(full)

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures in tests/goldens/.
+
+Run after an *intentional* change to PowerChop's decision behaviour:
+
+    PYTHONPATH=src python scripts/update_goldens.py
+
+then inspect ``git diff tests/goldens/`` before committing — a golden
+that moved unexpectedly is a regression, not a fixture refresh.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.goldens import GOLDEN_SPECS, capture_golden  # noqa: E402
+
+
+def main() -> int:
+    out_dir = REPO_ROOT / "tests" / "goldens"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for spec in GOLDEN_SPECS:
+        fixture = capture_golden(spec)
+        path = out_dir / f"{spec.name}.json"
+        path.write_text(json.dumps(fixture, indent=1) + "\n")
+        print(f"{path}: {len(fixture['events'])} events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@ Commands:
 - ``staticcheck`` — static-analysis report (CFG verification + dataflow
   summaries) over workload profiles; exits non-zero on errors (or, with
   ``--strict``, warnings).
+- ``trace``       — run one benchmark with full observability and write a
+  Chrome ``trace_event`` JSON (load it at https://ui.perfetto.dev), plus
+  an optional per-unit gating timeline (``--timeline``).
 
 ``run``, ``compare`` and ``sweep`` accept ``--json`` for machine-readable
 output; ``sweep`` accepts ``--jobs N`` (default: ``REPRO_JOBS``) to fan the
@@ -255,6 +258,57 @@ def cmd_staticcheck(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs.export import chrome_trace, gating_intervals, render_timeline
+    from repro.sim.simulator import HybridSimulator
+    from repro.workloads.profiles import build_workload
+
+    profile, design = _resolve_design(args)
+    mode = GatingMode(args.mode)
+    simulator = HybridSimulator(
+        design,
+        build_workload(profile, args.seed),
+        mode=mode,
+        obs_level="full",
+    )
+    result = simulator.run(args.instructions)
+    tracer = simulator.tracer
+
+    trace = chrome_trace(
+        tracer.events(),
+        frequency_hz=design.frequency_hz,
+        end_cycles=simulator.cycles,
+        mlc_full_ways=design.mlc_assoc,
+        benchmark=profile.name,
+        design=design.name,
+        dropped=tracer.dropped,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(trace, handle)
+
+    if args.timeline:
+        intervals = gating_intervals(tracer.events(), simulator.cycles)
+        fmt = "csv" if args.timeline.endswith(".csv") else "text"
+        rendered = render_timeline(intervals, fmt=fmt)
+        if args.timeline == "-":
+            print(rendered)
+        else:
+            with open(args.timeline, "w") as handle:
+                handle.write(rendered)
+                if not rendered.endswith("\n"):
+                    handle.write("\n")
+
+    print(
+        f"{profile.name} on {design.name} [{mode.value}]: "
+        f"{tracer.emitted:,} events ({tracer.dropped:,} dropped), "
+        f"{len(trace['traceEvents']):,} trace records -> {args.out}"
+    )
+    print(f"  instructions : {result.instructions:,}")
+    print(f"  cycles       : {result.cycles:,.0f}  (IPC {result.ipc:.3f})")
+    print("  load the trace at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="PowerChop (ISCA 2016) reproduction"
@@ -355,6 +409,50 @@ def main(argv=None) -> int:
         help="emit the full machine-readable report",
     )
     static_parser.set_defaults(func=cmd_staticcheck)
+
+    trace_parser = sub.add_parser(
+        "trace", help="export a Chrome trace_event JSON of one run"
+    )
+    trace_parser.add_argument("benchmark", help="benchmark name (see `list`)")
+    trace_parser.add_argument(
+        "-n",
+        "--instructions",
+        type=int,
+        default=2_000_000,
+        help="guest instructions to simulate (default 2M)",
+    )
+    trace_parser.add_argument(
+        "-m",
+        "--mode",
+        choices=[m.value for m in GatingMode],
+        default="powerchop",
+    )
+    trace_parser.add_argument(
+        "-d",
+        "--design",
+        default="",
+        help="design point: server | mobile (default: paper pairing)",
+    )
+    trace_parser.add_argument(
+        "-s",
+        "--seed",
+        type=int,
+        default=None,
+        help="workload generation seed (default: profile default)",
+    )
+    trace_parser.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace output path (default trace.json)",
+    )
+    trace_parser.add_argument(
+        "--timeline",
+        default="",
+        metavar="PATH",
+        help="also write the per-unit gating timeline "
+        "(CSV if PATH ends in .csv, else text; '-' prints to stdout)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -10,6 +10,8 @@ from repro.bt.nucleus import Nucleus
 from repro.bt.region_cache import RegionCache, Translation
 from repro.bt.translator import Translator
 from repro.isa.blocks import BasicBlock, CodeRegion
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.uarch.config import DesignPoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,10 +40,12 @@ class BTRuntime:
         design: DesignPoint,
         regions: Dict[int, CodeRegion],
         static_hints: Optional["StaticHints"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.design = design
         self.regions = dict(regions)
         self.static_hints = static_hints
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.region_cache = RegionCache()
         self.interpreter = Interpreter(design.hot_threshold)
         self.translator = Translator(
@@ -85,6 +89,13 @@ class BTRuntime:
         became_hot = self.interpreter.note_execution(block.pc, block.n_instr)
         extra_cycles = 0.0
         if became_hot:
+            tracer = self.tracer
+            if tracer.active:
+                tracer.emit(
+                    EventKind.TRANSLATION_START,
+                    tracer.now,
+                    {"pc": block.pc, "region": block.region_id},
+                )
             region = self.regions[block.region_id]
             new_translation = self.translator.translate(region, block)
             self.region_cache.insert(new_translation)
@@ -93,4 +104,14 @@ class BTRuntime:
                 new_translation.n_instr * self.design.translate_cycles_per_instr
             )
             self.translation_cycles += extra_cycles
+            if tracer.active:
+                tracer.emit(
+                    EventKind.TRANSLATION_COMMIT,
+                    tracer.now + extra_cycles,
+                    {
+                        "tid": new_translation.tid,
+                        "n_instr": new_translation.n_instr,
+                        "cost_cycles": extra_cycles,
+                    },
+                )
         return ExecMode.INTERPRETED, extra_cycles, None

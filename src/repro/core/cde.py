@@ -32,6 +32,8 @@ from repro.core.criticality import (
 )
 from repro.core.policies import PolicyVector, full_power_policy
 from repro.core.signature import PhaseSignature
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.uarch.config import DesignPoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -88,9 +90,11 @@ class CriticalityDecisionEngine:
         config: PowerChopConfig,
         design: DesignPoint,
         static_hints: Optional["StaticHints"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.design = design
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Static-analysis pre-pass facts; only honoured when the config
         #: opts in *and* the CDE is allowed to manage the VPU (per-unit
         #: isolation studies must not see the VPU gated by a hint).
@@ -154,6 +158,7 @@ class CriticalityDecisionEngine:
         known = self._known.get(signature)
         if known is not None:
             self.reregistrations += 1
+            self._note_decision(signature, known, "reregistered")
             return "register", known
         if signature in self._ignored:
             return "ignore", None
@@ -171,6 +176,7 @@ class CriticalityDecisionEngine:
                 # instead reuses the characterisation it already has.
                 self._known[signature] = inherited
                 self.inherited_policies += 1
+                self._note_decision(signature, inherited, "inherited")
                 return "register", inherited
             progress = _ProfileProgress()
             if self.hints is not None and self.hints.signature_vpu_dead(signature):
@@ -197,6 +203,7 @@ class CriticalityDecisionEngine:
             self._ignored.add(signature)
             del self._profiles[signature]
             self.unprofileable_phases += 1
+            self._note_decision(signature, None, "unprofileable")
             return "ignore", None
         return "profile", self._measurement_states(
             progress, current_vpu_on, current_mlc_ways
@@ -295,7 +302,35 @@ class CriticalityDecisionEngine:
         self._known[signature] = policy
         del self._profiles[signature]
         self.policies_assigned += 1
+        self._note_decision(signature, policy, "profiled", scores)
         return policy
+
+    def _note_decision(
+        self,
+        signature: PhaseSignature,
+        policy: Optional[PolicyVector],
+        source: str,
+        scores: Optional[CriticalityScores] = None,
+    ) -> None:
+        tracer = self.tracer
+        if not tracer.active:
+            return
+        payload: Dict = {
+            "signature": signature,
+            "source": source,
+            "policy": (
+                [int(policy.vpu_on), int(policy.bpu_on), int(policy.mlc_ways)]
+                if policy is not None
+                else None
+            ),
+        }
+        if scores is not None:
+            payload["scores"] = {
+                "vpu": scores.vpu,
+                "bpu": scores.bpu,
+                "mlc": scores.mlc,
+            }
+        tracer.emit(EventKind.POLICY_DECISION, tracer.now, payload)
 
     def _similar_known_policy(
         self, signature: PhaseSignature

@@ -21,6 +21,8 @@ from repro.core.policies import PolicyVector
 from repro.core.pvt import PolicyVectorTable
 from repro.core.signature import PhaseSignature
 from repro.bt.nucleus import Nucleus
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.power.accounting import EnergyAccounting
 from repro.uarch.config import DesignPoint
 from repro.uarch.core import CoreModel
@@ -36,21 +38,31 @@ class PowerChopController:
         core: CoreModel,
         nucleus: Nucleus,
         accountant: Optional[EnergyAccounting] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config
         self.design = design
         self.core = core
         self.nucleus = nucleus
         self.accountant = accountant
-        self.htb = HotTranslationBuffer(config.htb_entries, config.window_size)
-        self.pvt = PolicyVectorTable(config.pvt_entries)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.htb = HotTranslationBuffer(
+            config.htb_entries, config.window_size, tracer=self.tracer
+        )
+        self.pvt = PolicyVectorTable(config.pvt_entries, tracer=self.tracer)
         # The BT runtime publishes the workload's static-analysis facts on
         # the nucleus (the CDE's entry path); the CDE itself decides whether
         # the config lets it honour them.
         self.cde = CriticalityDecisionEngine(
-            config, design, static_hints=getattr(nucleus, "static_hints", None)
+            config,
+            design,
+            static_hints=getattr(nucleus, "static_hints", None),
+            tracer=self.tracer,
         )
 
+        #: Signature of the phase the previous window observed (trace-only
+        #: state backing the PhaseEnter/Exit events).
+        self._last_phase: Optional[PhaseSignature] = None
         self._measuring: Optional[PhaseSignature] = None
         #: Set when arming a measurement window required upsizing the MLC or
         #: powering the large BPU back on: that window observes cold
@@ -116,6 +128,25 @@ class PowerChopController:
     def _window_end(self, now_cycles: float) -> float:
         self.windows_seen += 1
         signature = self.htb.signature(self.config.signature_length)
+        tracer = self.tracer
+        if tracer.active:
+            # Window-boundary processing happens "at" now_cycles; advance
+            # the tracer clock so every event emitted below (PVT probe, CDE
+            # decision, gating transitions) is stamped consistently.
+            tracer.now = now_cycles
+            if signature != self._last_phase:
+                if self._last_phase is not None:
+                    tracer.emit(
+                        EventKind.PHASE_EXIT,
+                        now_cycles,
+                        {"signature": self._last_phase, "window": self.windows_seen},
+                    )
+                tracer.emit(
+                    EventKind.PHASE_ENTER,
+                    now_cycles,
+                    {"signature": signature, "window": self.windows_seen},
+                )
+                self._last_phase = signature
         if self.config.collect_phase_vectors:
             self.phase_log.append((signature, self.htb.translation_vector()))
         stats = self._window_stats()
@@ -190,6 +221,44 @@ class PowerChopController:
 
     # --------------------------------------------------------- unit gating
 
+    def _trace_switch(
+        self,
+        unit: str,
+        old,
+        new,
+        cost: float,
+        now_cycles: float,
+        arm: bool = False,
+        writebacks: Optional[int] = None,
+    ) -> None:
+        """Emit one UnitGate/Regate event (caller guards ``tracer.active``).
+
+        A VPU or BPU power-up, and an MLC way increase, is a *regate* (pays
+        the rewarm `cost`); the opposite direction is a *gate*.  VPU events
+        snapshot ``native_ops`` and BPU events ``lookups`` so trace
+        consumers can prove what ran inside each interval.
+        """
+        gate = new < old if unit == "mlc" else (old and not new)
+        payload = {
+            "unit": unit,
+            "from": int(old),
+            "to": int(new),
+            "cost_cycles": cost,
+        }
+        if unit == "vpu":
+            payload["native_ops"] = self.core.vpu.native_ops
+        elif unit == "bpu":
+            payload["lookups"] = self.core.bpu.lookups
+        if writebacks is not None:
+            payload["writebacks"] = writebacks
+        if arm:
+            payload["arm"] = True
+        self.tracer.emit(
+            EventKind.UNIT_GATE if gate else EventKind.UNIT_REGATE,
+            now_cycles,
+            payload,
+        )
+
     def _arm_measurement(self, payload: PolicyVector, now_cycles: float) -> float:
         """Configure the hardware for a CDE profiling window.
 
@@ -210,10 +279,16 @@ class PowerChopController:
             # Only the static pre-pass arms a measurement window with the
             # VPU in a different state (gated, for a statically VPU-dead
             # phase); powering *down* needs no warmup window.
-            cycles += design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            cost = design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            cycles += cost
+            was_on = core.states.vpu_on
             core.apply_vpu_state(payload.vpu_on)
             if self.accountant is not None:
                 self.accountant.on_switch("vpu", payload.vpu_on, now_cycles)
+            if self.tracer.active:
+                self._trace_switch(
+                    "vpu", was_on, payload.vpu_on, cost, now_cycles, arm=True
+                )
 
         core.bpu.force_small = not payload.bpu_on
         if payload.bpu_on and not core.states.bpu_large_on:
@@ -221,13 +296,28 @@ class PowerChopController:
             core.apply_bpu_state(True)
             if self.accountant is not None:
                 self.accountant.on_switch("bpu", True, now_cycles)
+            if self.tracer.active:
+                self._trace_switch(
+                    "bpu", False, True, design.bpu_switch_cycles, now_cycles, arm=True
+                )
             self._measure_warming = True
 
         if payload.mlc_ways > core.states.mlc_ways:
+            old_ways = core.states.mlc_ways
             core.apply_mlc_state(payload.mlc_ways)  # upsize: no writebacks
             cycles += design.mlc_switch_cycles
             if self.accountant is not None:
                 self.accountant.on_switch("mlc", payload.mlc_ways, now_cycles)
+            if self.tracer.active:
+                self._trace_switch(
+                    "mlc",
+                    old_ways,
+                    payload.mlc_ways,
+                    design.mlc_switch_cycles,
+                    now_cycles,
+                    arm=True,
+                    writebacks=0,
+                )
             self._measure_warming = True
 
         return cycles
@@ -241,22 +331,38 @@ class PowerChopController:
         core.bpu.force_small = False
 
         if policy.vpu_on != states.vpu_on:
-            cycles += design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            cost = design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            cycles += cost
+            was_on = states.vpu_on
             core.apply_vpu_state(policy.vpu_on)
             if self.accountant is not None:
                 self.accountant.on_switch("vpu", policy.vpu_on, now_cycles)
+            if self.tracer.active:
+                self._trace_switch("vpu", was_on, policy.vpu_on, cost, now_cycles)
 
         if policy.bpu_on != states.bpu_large_on:
             cycles += design.bpu_switch_cycles
+            was_on = states.bpu_large_on
             core.apply_bpu_state(policy.bpu_on)
             if self.accountant is not None:
                 self.accountant.on_switch("bpu", policy.bpu_on, now_cycles)
+            if self.tracer.active:
+                self._trace_switch(
+                    "bpu", was_on, policy.bpu_on, design.bpu_switch_cycles, now_cycles
+                )
 
         if policy.mlc_ways != states.mlc_ways:
+            old_ways = states.mlc_ways
             dirty = core.apply_mlc_state(policy.mlc_ways)
-            cycles += design.mlc_switch_cycles + dirty * design.writeback_cycles_per_line
+            cost = design.mlc_switch_cycles + dirty * design.writeback_cycles_per_line
+            cycles += cost
             if self.accountant is not None:
                 self.accountant.on_switch("mlc", policy.mlc_ways, now_cycles)
+            if self.tracer.active:
+                self._trace_switch(
+                    "mlc", old_ways, policy.mlc_ways, cost, now_cycles,
+                    writebacks=dirty,
+                )
 
         return cycles
 

@@ -11,21 +11,29 @@ window the HTB initiates a PVT lookup and is flushed.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.signature import PhaseSignature, make_signature
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class HotTranslationBuffer:
     """Tracks per-window translation execution and instruction counts."""
 
-    def __init__(self, n_entries: int = 128, window_size: int = 1000) -> None:
+    def __init__(
+        self,
+        n_entries: int = 128,
+        window_size: int = 1000,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if n_entries < 1:
             raise ValueError("HTB needs at least one entry")
         if window_size < 1:
             raise ValueError("window size must be >= 1")
         self.n_entries = n_entries
         self.window_size = window_size
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._instr_counts: Dict[int, int] = {}
         self._exec_counts: Dict[int, int] = {}
         self.window_executions = 0
@@ -41,8 +49,18 @@ class HotTranslationBuffer:
         elif len(counts) < self.n_entries:
             counts[tid] = n_instr
             self._exec_counts[tid] = 1
+            tracer = self.tracer
+            if tracer.active:
+                tracer.emit(
+                    EventKind.HTB_PROMOTE,
+                    tracer.now,
+                    {"tid": tid, "occupancy": len(counts)},
+                )
         else:
             self.overflowed += 1
+            tracer = self.tracer
+            if tracer.active:
+                tracer.emit(EventKind.HTB_EVICT, tracer.now, {"tid": tid})
         self.window_executions += 1
         return self.window_executions >= self.window_size
 

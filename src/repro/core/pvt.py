@@ -14,6 +14,8 @@ from typing import Optional, Tuple
 
 from repro.core.policies import PolicyVector
 from repro.core.signature import PhaseSignature
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class PolicyVectorTable:
@@ -23,10 +25,11 @@ class PolicyVectorTable:
     the behaviour the approximation converges to (noted in DESIGN.md).
     """
 
-    def __init__(self, n_entries: int = 16) -> None:
+    def __init__(self, n_entries: int = 16, tracer: Optional[Tracer] = None) -> None:
         if n_entries < 1:
             raise ValueError("PVT needs at least one entry")
         self.n_entries = n_entries
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._entries: "OrderedDict[PhaseSignature, PolicyVector]" = OrderedDict()
         self.lookups = 0
         self.hits = 0
@@ -36,12 +39,17 @@ class PolicyVectorTable:
     def lookup(self, signature: PhaseSignature) -> Optional[PolicyVector]:
         """Probe the PVT at a window boundary."""
         self.lookups += 1
+        tracer = self.tracer
         policy = self._entries.get(signature)
         if policy is None:
             self.misses += 1
+            if tracer.active:
+                tracer.emit(EventKind.PVT_MISS, tracer.now, {"signature": signature})
             return None
         self._entries.move_to_end(signature)
         self.hits += 1
+        if tracer.active:
+            tracer.emit(EventKind.PVT_HIT, tracer.now, {"signature": signature})
         return policy
 
     def insert(

@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.isa.blocks import BlockExec
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.power.accounting import EnergyAccounting
 from repro.uarch.config import DesignPoint
 from repro.uarch.core import CoreModel
@@ -31,6 +33,7 @@ class TimeoutVPUController:
         core: CoreModel,
         timeout_cycles: float = 20_000.0,
         accountant: Optional[EnergyAccounting] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if timeout_cycles <= 0:
             raise ValueError("timeout must be positive")
@@ -38,9 +41,23 @@ class TimeoutVPUController:
         self.core = core
         self.timeout_cycles = timeout_cycles
         self.accountant = accountant
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._last_vector_cycle = 0.0
         self.gate_offs = 0
         self.gate_ons = 0
+
+    def _trace_switch(self, on: bool, cost: float, now_cycles: float) -> None:
+        self.tracer.emit(
+            EventKind.UNIT_REGATE if on else EventKind.UNIT_GATE,
+            now_cycles,
+            {
+                "unit": "vpu",
+                "from": int(not on),
+                "to": int(on),
+                "cost_cycles": cost,
+                "native_ops": self.core.vpu.native_ops,
+            },
+        )
 
     def on_block(self, block_exec: BlockExec, now_cycles: float) -> float:
         """Run the timeout policy for one dynamic block.
@@ -56,20 +73,26 @@ class TimeoutVPUController:
 
         if uses_vpu:
             if not core.states.vpu_on:
-                cycles += design.vpu_switch_cycles + design.vpu_save_restore_cycles
+                cost = design.vpu_switch_cycles + design.vpu_save_restore_cycles
+                cycles += cost
                 core.apply_vpu_state(True)
                 self.gate_ons += 1
                 if self.accountant is not None:
                     self.accountant.on_switch("vpu", True, now_cycles)
+                if self.tracer.active:
+                    self._trace_switch(True, cost, now_cycles)
             self._last_vector_cycle = now_cycles
         elif (
             core.states.vpu_on
             and now_cycles - self._last_vector_cycle > self.timeout_cycles
         ):
-            cycles += design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            cost = design.vpu_switch_cycles + design.vpu_save_restore_cycles
+            cycles += cost
             core.apply_vpu_state(False)
             self.gate_offs += 1
             if self.accountant is not None:
                 self.accountant.on_switch("vpu", False, now_cycles)
+            if self.tracer.active:
+                self._trace_switch(False, cost, now_cycles)
 
         return cycles

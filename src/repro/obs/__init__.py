@@ -1,0 +1,50 @@
+"""Structured observability: event tracing, metrics, exporters.
+
+``repro.obs`` is the single instrumentation surface for the simulator:
+
+- :mod:`repro.obs.events` — the typed event taxonomy (schema-versioned);
+- :mod:`repro.obs.tracer` — the ring-buffered :class:`Tracer` handle the
+  simulator threads through every instrumented component (one branch per
+  site when tracing is off);
+- :mod:`repro.obs.metrics` — the named counter/gauge/histogram registry
+  whose snapshot lands in :attr:`SimulationResult.metrics`;
+- :mod:`repro.obs.collect` — end-of-run collection of the registry from
+  the authoritative component counters;
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
+  per-unit gating-timeline renderers;
+- :mod:`repro.obs.goldens` — the golden-trace regression specs shared by
+  the test suite and ``scripts/update_goldens.py``.
+
+See DESIGN.md §"Observability" for the event taxonomy and buffer/drop
+semantics.
+"""
+
+from repro.obs.events import OBS_SCHEMA_VERSION, EventKind, TraceEvent
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, OBS_LEVELS, Tracer
+from repro.obs.collect import collect_metrics
+from repro.obs.export import chrome_trace, gating_intervals, render_timeline
+
+__all__ = [
+    "OBS_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "EventKind",
+    "TraceEvent",
+    "Tracer",
+    "NULL_TRACER",
+    "OBS_LEVELS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_metrics",
+    "chrome_trace",
+    "gating_intervals",
+    "render_timeline",
+]

@@ -1,0 +1,110 @@
+"""The typed trace-event taxonomy.
+
+Every event the simulator can emit is named here; payload fields are part
+of the schema (:data:`PAYLOAD_FIELDS`) so exporters, golden fixtures and
+invariant tests agree on shape.  Bump :data:`OBS_SCHEMA_VERSION` whenever
+a kind is added/removed or a payload field changes meaning — golden
+fixtures record the version they were captured under.
+
+Payload conventions:
+
+- ``ts`` is simulation time in *cycles* (float, monotonically
+  non-decreasing in emission order);
+- phase signatures appear as tuples of translation IDs;
+- ``UNIT_GATE``/``UNIT_REGATE`` carry the transition cost in cycles
+  (switch latency + save/restore + writeback stalls) — the "rewarm
+  penalty" a gating decision pays;
+- the VPU gate/regate payloads snapshot ``native_ops`` so trace consumers
+  can prove gated intervals executed zero native vector operations.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Dict, NamedTuple
+
+#: Version of the event taxonomy + payload schema below.
+OBS_SCHEMA_VERSION = 1
+
+
+class EventKind(str, Enum):
+    """Every event kind the instrumented simulator can emit."""
+
+    #: A window boundary observed a different phase signature than the
+    #: previous window (emitted by the PowerChop controller).
+    PHASE_ENTER = "phase_enter"
+    PHASE_EXIT = "phase_exit"
+    #: A translation was admitted into the Hot Translation Buffer for the
+    #: current window.
+    HTB_PROMOTE = "htb_promote"
+    #: A translation was dropped because the HTB was full (the hardware's
+    #: capacity-eviction behaviour: excess translations are ignored).
+    HTB_EVICT = "htb_evict"
+    PVT_HIT = "pvt_hit"
+    PVT_MISS = "pvt_miss"
+    #: The CDE bound a policy to a signature (profiled / reregistered /
+    #: inherited) or declared it unprofileable.
+    POLICY_DECISION = "policy_decision"
+    #: A unit powered down (VPU/BPU) or shed MLC ways.
+    UNIT_GATE = "unit_gate"
+    #: A unit powered back up (VPU/BPU) or restored MLC ways.
+    UNIT_REGATE = "unit_regate"
+    #: The BT began building a superblock translation.
+    TRANSLATION_START = "translation_start"
+    #: The translation was committed to the region cache.
+    TRANSLATION_COMMIT = "translation_commit"
+    #: Way-gating the MLC flushed dirty lines back to the next level.
+    WAYBACK_WRITEBACK = "wayback_writeback"
+
+
+class TraceEvent(NamedTuple):
+    """One emitted event: (cycles, kind, payload dict)."""
+
+    ts: float
+    kind: EventKind
+    payload: Dict[str, Any]
+
+
+#: Documented payload fields per kind (tests validate emitted events
+#: against this map; optional fields are suffixed with ``?``).
+PAYLOAD_FIELDS: Dict[EventKind, tuple] = {
+    EventKind.PHASE_ENTER: ("signature", "window"),
+    EventKind.PHASE_EXIT: ("signature", "window"),
+    EventKind.HTB_PROMOTE: ("tid", "occupancy"),
+    EventKind.HTB_EVICT: ("tid",),
+    EventKind.PVT_HIT: ("signature",),
+    EventKind.PVT_MISS: ("signature",),
+    EventKind.POLICY_DECISION: ("signature", "source", "policy", "scores?"),
+    EventKind.UNIT_GATE: (
+        "unit",
+        "from",
+        "to",
+        "cost_cycles",
+        "native_ops?",
+        "lookups?",
+        "writebacks?",
+        "arm?",
+    ),
+    EventKind.UNIT_REGATE: (
+        "unit",
+        "from",
+        "to",
+        "cost_cycles",
+        "native_ops?",
+        "lookups?",
+        "writebacks?",
+        "arm?",
+    ),
+    EventKind.TRANSLATION_START: ("pc", "region"),
+    EventKind.TRANSLATION_COMMIT: ("tid", "n_instr", "cost_cycles"),
+    EventKind.WAYBACK_WRITEBACK: ("cache", "dirty_lines", "ways"),
+}
+
+
+def event_to_jsonable(event: TraceEvent) -> Dict[str, Any]:
+    """One event as a plain JSON-ready dict (tuples become lists)."""
+    payload = {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in event.payload.items()
+    }
+    return {"ts": event.ts, "kind": event.kind.value, "payload": payload}

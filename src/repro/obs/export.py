@@ -1,0 +1,263 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and gating timelines.
+
+:func:`chrome_trace` converts a tracer's event list into the Chrome
+trace-event JSON-object format (``{"traceEvents": [...]}``), loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+- phases and unit-gated intervals become ``B``/``E`` duration slices on
+  per-concern tracks (one ``tid`` per track, all under ``pid`` 1);
+- MLC way counts additionally render as a ``C`` counter track;
+- PVT hits/misses, HTB promotions/evictions, policy decisions and
+  writeback bursts are thread-scoped instants (``ph: "i"``);
+- timestamps convert from cycles to microseconds via the design clock.
+
+Every ``B`` is closed: slices still open when the trace ends get an ``E``
+at the final timestamp, and an ``E`` whose ``B`` predates the ring buffer
+(dropped under pressure) is suppressed — so the output is structurally
+valid regardless of buffer truncation.
+
+:func:`gating_intervals` reconstructs per-unit state residency intervals
+from gate/regate events, and :func:`render_timeline` renders them as an
+aligned text table or CSV — the ReGate-style per-unit activity timeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.events import EventKind, TraceEvent, event_to_jsonable
+
+#: One Chrome ``tid`` per concern, so Perfetto shows each as its own track.
+TRACKS: Dict[str, int] = {
+    "phases": 1,
+    "vpu": 2,
+    "bpu": 3,
+    "mlc": 4,
+    "bt": 5,
+    "policy": 6,
+    "htb": 7,
+    "pvt": 8,
+}
+
+_INSTANT_TRACKS = {
+    EventKind.PVT_HIT: "pvt",
+    EventKind.PVT_MISS: "pvt",
+    EventKind.HTB_PROMOTE: "htb",
+    EventKind.HTB_EVICT: "htb",
+    EventKind.POLICY_DECISION: "policy",
+    EventKind.WAYBACK_WRITEBACK: "mlc",
+}
+
+
+def _sig_name(signature) -> str:
+    return "phase " + "/".join(str(tid) for tid in signature)
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent],
+    *,
+    frequency_hz: float,
+    end_cycles: float,
+    mlc_full_ways: int,
+    benchmark: str = "",
+    design: str = "",
+    dropped: int = 0,
+) -> Dict:
+    """Events → Chrome trace-event JSON object (Perfetto-loadable)."""
+    scale = 1e6 / frequency_hz  # cycles -> microseconds
+    trace_events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": f"repro {benchmark or 'run'} [{design or 'design'}]"},
+        }
+    ]
+    for track, tid in TRACKS.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        trace_events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    #: Per-track stack of open B slice names, to keep B/E matched.
+    open_slices: Dict[int, List[str]] = {tid: [] for tid in TRACKS.values()}
+
+    def begin(track: str, name: str, ts: float, args: Dict) -> None:
+        tid = TRACKS[track]
+        open_slices[tid].append(name)
+        trace_events.append(
+            {"name": name, "cat": track, "ph": "B", "pid": 1, "tid": tid,
+             "ts": ts * scale, "args": args}
+        )
+
+    def end(track: str, ts: float) -> bool:
+        tid = TRACKS[track]
+        if not open_slices[tid]:
+            return False  # B predates the ring buffer; drop the E too.
+        name = open_slices[tid].pop()
+        trace_events.append(
+            {"name": name, "cat": track, "ph": "E", "pid": 1, "tid": tid,
+             "ts": ts * scale}
+        )
+        return True
+
+    def instant(track: str, name: str, ts: float, args: Dict) -> None:
+        trace_events.append(
+            {"name": name, "cat": track, "ph": "i", "s": "t", "pid": 1,
+             "tid": TRACKS[track], "ts": ts * scale, "args": args}
+        )
+
+    def counter(name: str, ts: float, series: Dict[str, float]) -> None:
+        trace_events.append(
+            {"name": name, "ph": "C", "pid": 1, "tid": TRACKS["mlc"],
+             "ts": ts * scale, "args": series}
+        )
+
+    counter("mlc_ways", 0.0, {"ways": mlc_full_ways})
+    for event in events:
+        ts, kind, payload = event
+        if kind is EventKind.PHASE_ENTER:
+            begin("phases", _sig_name(payload["signature"]), ts,
+                  {"window": payload.get("window")})
+        elif kind is EventKind.PHASE_EXIT:
+            end("phases", ts)
+        elif kind in (EventKind.UNIT_GATE, EventKind.UNIT_REGATE):
+            unit = payload["unit"]
+            args = {k: v for k, v in payload.items() if not isinstance(v, tuple)}
+            if unit == "mlc":
+                counter("mlc_ways", ts, {"ways": payload["to"]})
+                if kind is EventKind.UNIT_GATE and not open_slices[TRACKS["mlc"]]:
+                    begin("mlc", "mlc ways gated", ts, args)
+                elif kind is EventKind.UNIT_REGATE and payload["to"] >= mlc_full_ways:
+                    end("mlc", ts)
+            elif kind is EventKind.UNIT_GATE:
+                begin(unit, f"{unit} gated", ts, args)
+            else:
+                end(unit, ts)
+        elif kind is EventKind.TRANSLATION_START:
+            begin("bt", f"translate pc={payload['pc']:#x}", ts, dict(payload))
+        elif kind is EventKind.TRANSLATION_COMMIT:
+            end("bt", ts)
+        else:
+            track = _INSTANT_TRACKS[kind]
+            args = {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in payload.items()
+            }
+            instant(track, kind.value, ts, args)
+
+    # Close whatever is still open so every B has a matching E.
+    for track in TRACKS:
+        while end(track, end_cycles):
+            pass
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "benchmark": benchmark,
+            "design": design,
+            "frequency_hz": frequency_hz,
+            "end_cycles": end_cycles,
+            "events_dropped": dropped,
+        },
+    }
+
+
+# ------------------------------------------------------------- timelines
+
+
+def gating_intervals(
+    events: Iterable[TraceEvent],
+    end_cycles: float,
+    initial_states: Optional[Dict[str, str]] = None,
+) -> List[Tuple[str, float, float, str, float]]:
+    """Per-unit state residency: ``(unit, start, end, state, entry_cost)``.
+
+    Reconstructed from ``UNIT_GATE``/``UNIT_REGATE`` events; the interval
+    *before* a unit's first event carries its initial state (full power
+    unless overridden via ``initial_states``).  ``entry_cost`` is the
+    rewarm/transition cycle cost paid to enter the interval's state.
+    """
+    states: Dict[str, str] = {"vpu": "on", "bpu": "on", "mlc": "full"}
+    if initial_states:
+        states.update(initial_states)
+    opened: Dict[str, Tuple[float, str, float]] = {
+        unit: (0.0, state, 0.0) for unit, state in states.items()
+    }
+    intervals: List[Tuple[str, float, float, str, float]] = []
+
+    for ts, kind, payload in events:
+        if kind not in (EventKind.UNIT_GATE, EventKind.UNIT_REGATE):
+            continue
+        unit = payload["unit"]
+        if unit == "mlc":
+            new_state = f"ways={payload['to']}"
+        else:
+            new_state = "on" if kind is EventKind.UNIT_REGATE else "gated"
+        start, state, cost = opened.get(unit, (0.0, "on", 0.0))
+        if ts > start:
+            intervals.append((unit, start, ts, state, cost))
+        opened[unit] = (ts, new_state, float(payload.get("cost_cycles", 0.0)))
+
+    for unit, (start, state, cost) in sorted(opened.items()):
+        if end_cycles > start:
+            intervals.append((unit, start, end_cycles, state, cost))
+    intervals.sort(key=lambda row: (row[0], row[1]))
+    return intervals
+
+
+_TIMELINE_HEADER = ("unit", "start_cycles", "end_cycles", "state", "entry_cost_cycles")
+
+
+def render_timeline(
+    intervals: Sequence[Tuple[str, float, float, str, float]],
+    fmt: str = "text",
+) -> str:
+    """Render gating intervals as an aligned text table or CSV."""
+    if fmt == "csv":
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(_TIMELINE_HEADER)
+        for unit, start, stop, state, cost in intervals:
+            writer.writerow([unit, f"{start:.1f}", f"{stop:.1f}", state, f"{cost:.1f}"])
+        return out.getvalue()
+    if fmt != "text":
+        raise ValueError(f"unknown timeline format {fmt!r} (use text or csv)")
+    rows = [
+        (unit, f"{start:,.0f}", f"{stop:,.0f}", state, f"{cost:,.0f}")
+        for unit, start, stop, state, cost in intervals
+    ]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rows)) if rows else len(header)
+        for i, header in enumerate(_TIMELINE_HEADER)
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(_TIMELINE_HEADER))
+    ]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def trace_to_jsonable(events: Sequence[TraceEvent]) -> List[Dict]:
+    """Raw event list as JSON-ready dicts (golden fixtures use this)."""
+    return [event_to_jsonable(event) for event in events]

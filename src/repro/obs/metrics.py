@@ -1,0 +1,145 @@
+"""Named metrics: counters, gauges and histograms with label support.
+
+The registry is the structured replacement for ad-hoc ``result.extra``
+dict-poking: every quantity a run produces gets a *named* instrument,
+optionally distinguished by labels (``cache_hits{cache=l1}``), and the
+whole registry snapshots to a stable, schema-versioned dict stored in
+:attr:`SimulationResult.metrics`.
+
+Snapshot schema (version :data:`METRICS_SCHEMA_VERSION`)::
+
+    {
+      "schema": 1,
+      "counters":   {"<name>{label=value,...}": int_or_float, ...},
+      "gauges":     {"<key>": float, ...},
+      "histograms": {"<key>": {"count": int, "sum": float,
+                               "min": float|None, "max": float|None}, ...},
+    }
+
+Keys are ``name`` alone for unlabelled instruments, else
+``name{k=v,...}`` with labels sorted by key — stable across runs and
+processes.  Bump :data:`METRICS_SCHEMA_VERSION` when instrument names
+change meaning or the snapshot layout changes (mirrors
+``CACHE_SCHEMA_VERSION`` in :mod:`repro.sim.engine`, which salts cached
+results with it indirectly via the result schema).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+#: Version of the snapshot layout and instrument-naming contract above.
+METRICS_SCHEMA_VERSION = 1
+
+Number = Union[int, float]
+
+
+def metric_key(name: str, labels: Dict[str, str]) -> str:
+    """Canonical snapshot key: ``name`` or ``name{k=v,...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (may go up or down)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        return {"count": self.count, "sum": self.sum, "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Instrument factory + holder; one per simulation run.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated calls
+    with the same name and labels return the same instrument, so call
+    sites need no registration ceremony.  A name may only be used for one
+    instrument type.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _claim(self, key: str, kind: str) -> None:
+        held = self._kinds.setdefault(key, kind)
+        if held != kind:
+            raise ValueError(f"metric {key!r} already registered as a {held}")
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        self._claim(key, "counter")
+        return self._counters.setdefault(key, Counter())
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = metric_key(name, labels)
+        self._claim(key, "gauge")
+        return self._gauges.setdefault(key, Gauge())
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = metric_key(name, labels)
+        self._claim(key, "histogram")
+        return self._histograms.setdefault(key, Histogram())
+
+    def snapshot(self) -> Dict:
+        """Stable JSON-ready view of every instrument (keys sorted)."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {
+                key: self._counters[key].value for key in sorted(self._counters)
+            },
+            "gauges": {key: self._gauges[key].value for key in sorted(self._gauges)},
+            "histograms": {
+                key: self._histograms[key].to_dict()
+                for key in sorted(self._histograms)
+            },
+        }

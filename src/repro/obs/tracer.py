@@ -1,0 +1,94 @@
+"""The ring-buffered event tracer threaded through the simulator.
+
+One :class:`Tracer` instance exists per :class:`HybridSimulator`; every
+instrumented component (HTB, PVT, CDE, controller, core, BT runtime)
+holds a reference and guards each emission site with ``if tracer.active``
+— a single attribute load and branch when tracing is off, so the
+``obs_level="off"`` hot path is indistinguishable from uninstrumented
+code (verified by ``benchmarks/test_obs_overhead.py``).
+
+Buffering is a bounded ring: when ``capacity`` events are held, the
+oldest event is overwritten and ``dropped`` is incremented, so tracing a
+long run costs bounded memory and the consumer can see exactly how much
+history was lost.  ``now`` is the tracer's clock — the simulator (and the
+controller, at window boundaries) writes the current cycle count into it
+so components without a cycle argument in scope can still timestamp
+events; emission order is guaranteed monotonically non-decreasing in
+``ts``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.events import EventKind, TraceEvent
+
+#: Recognised observability levels, in increasing cost order:
+#: ``off`` (no tracing, no metrics snapshot), ``metrics`` (registry
+#: snapshot on the result, no event buffer), ``full`` (both).
+OBS_LEVELS = ("off", "metrics", "full")
+
+#: Default ring capacity (events); ~64 K events comfortably covers the
+#: managed-unit activity of multi-million-instruction runs.
+DEFAULT_CAPACITY = 65_536
+
+
+class Tracer:
+    """Typed-event ring buffer with a drop counter and a cycle clock."""
+
+    __slots__ = (
+        "level",
+        "active",
+        "metrics_on",
+        "capacity",
+        "now",
+        "emitted",
+        "dropped",
+        "_buf",
+        "_start",
+    )
+
+    def __init__(self, level: str = "off", capacity: int = DEFAULT_CAPACITY) -> None:
+        if level not in OBS_LEVELS:
+            raise ValueError(
+                f"obs_level must be one of {OBS_LEVELS}, got {level!r}"
+            )
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.level = level
+        #: True only at ``full``: event emission sites fire.
+        self.active = level == "full"
+        #: True at ``metrics`` and ``full``: the registry is snapshotted.
+        self.metrics_on = level != "off"
+        self.capacity = capacity
+        #: The tracer's clock, in cycles; written by the simulation loop.
+        self.now = 0.0
+        self.emitted = 0
+        self.dropped = 0
+        self._buf: List[TraceEvent] = []
+        self._start = 0
+
+    def emit(self, kind: EventKind, ts: float, payload: Dict[str, Any]) -> None:
+        """Append one event, overwriting the oldest when the ring is full."""
+        self.emitted += 1
+        buf = self._buf
+        if len(buf) < self.capacity:
+            buf.append(TraceEvent(ts, kind, payload))
+        else:
+            buf[self._start] = TraceEvent(ts, kind, payload)
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def events(self) -> List[TraceEvent]:
+        """Buffered events, oldest first."""
+        if not self._start:
+            return list(self._buf)
+        return self._buf[self._start:] + self._buf[: self._start]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+#: Shared inert tracer: components default to it so constructing them
+#: without observability changes nothing.
+NULL_TRACER = Tracer("off")

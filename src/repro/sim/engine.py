@@ -33,7 +33,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import PowerChopConfig
-from repro.sim.probes import PhaseLogProbe, ProbeSpec
+from repro.obs.tracer import OBS_LEVELS
+from repro.sim.probes import MetricsProbe, PhaseLogProbe, ProbeSpec, TraceProbe
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import GatingMode, HybridSimulator
 from repro.uarch.config import DesignPoint, design_for_suite
@@ -54,8 +55,10 @@ __all__ = [
 
 #: Bump when result semantics or the cache schema change; stale entries
 #: from older schema/code versions are treated as misses.  v2: POWERCHOP
-#: results gained the static-pre-pass counters in ``extra``.
-CACHE_SCHEMA_VERSION = 2
+#: results gained the static-pre-pass counters in ``extra``.  v3: results
+#: gained the ``metrics`` registry snapshot (``repro.obs.metrics``,
+#: ``METRICS_SCHEMA_VERSION``) and jobs the ``obs_level`` field.
+CACHE_SCHEMA_VERSION = 3
 
 _MANAGED_UNITS = ("vpu", "bpu", "mlc")
 
@@ -99,6 +102,7 @@ class SimJob:
     seed: Optional[int] = None
     collect_phase_log: bool = False
     probes: Tuple[ProbeSpec, ...] = ()
+    obs_level: str = "off"
     configure: Optional[Callable[[HybridSimulator], None]] = None
     cache_tag: str = ""
 
@@ -114,6 +118,10 @@ class SimJob:
         unknown = set(self.managed_units) - set(_MANAGED_UNITS)
         if unknown:
             raise ValueError(f"unknown managed units {sorted(unknown)}")
+        if self.obs_level not in OBS_LEVELS:
+            raise ValueError(
+                f"obs_level must be one of {OBS_LEVELS}, got {self.obs_level!r}"
+            )
         if self.configure is not None and not self.cache_tag:
             raise ValueError(
                 "a configure callback requires a non-empty cache_tag: the "
@@ -147,6 +155,24 @@ class SimJob:
             config = replace(config, collect_phase_vectors=True)
         return config
 
+    def resolve_obs_level(self) -> str:
+        """The observability level the run actually needs.
+
+        A :class:`~repro.sim.probes.TraceProbe` requires the full event
+        stream, and a :class:`~repro.sim.probes.MetricsProbe` at least the
+        registry snapshot, so either raises the job's declared level.
+        """
+        level = self.obs_level
+        if level != "full" and any(
+            isinstance(spec, TraceProbe) for spec in self.probes
+        ):
+            level = "full"
+        if level == "off" and any(
+            isinstance(spec, MetricsProbe) for spec in self.probes
+        ):
+            level = "metrics"
+        return level
+
     # ---------------------------------------------------------------- key
 
     def key(self) -> str:
@@ -172,6 +198,7 @@ class SimJob:
             f"seed={self.seed!r}",
             f"phase_log={self.collect_phase_log!r}",
             f"probes={self.probes!r}",
+            f"obs={self.resolve_obs_level()}",
             f"tag={self.cache_tag}",
         )
         return hashlib.sha256("\n".join(parts).encode()).hexdigest()
@@ -201,6 +228,7 @@ def execute_job(job: SimJob) -> JobRecord:
         mode=job.mode,
         powerchop_config=job.resolve_config(),
         timeout_cycles=job.timeout_cycles,
+        obs_level=job.resolve_obs_level(),
     )
     if job.configure is not None:
         job.configure(simulator)

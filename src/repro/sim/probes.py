@@ -26,10 +26,24 @@ __all__ = [
     "ProbeSpec",
     "ProbeState",
     "IPCSeriesProbe",
+    "MetricsProbe",
     "PhaseLogProbe",
     "StaticHintsProbe",
+    "TraceProbe",
     "UnitActivityProbe",
+    "include_trailing_window",
 ]
+
+
+def include_trailing_window(delta_instructions: int, sample_instructions: int) -> bool:
+    """Flush rule shared by every windowed probe.
+
+    A run's trailing partial window is emitted iff it covers at least half
+    a sample window.  Keeping this predicate in one place is what makes
+    :class:`IPCSeriesProbe` and :class:`MetricsProbe` agree on window
+    counts for any (run length, sample size) pair.
+    """
+    return delta_instructions > 0 and 2 * delta_instructions >= sample_instructions
 
 
 class ProbeState:
@@ -113,7 +127,7 @@ class _IPCSeriesState(ProbeState):
     def finish(self, simulator, result) -> None:
         # Trailing partial window: emit when it covers >= half a sample.
         delta_i = result.instructions - self._last_instr
-        if delta_i > 0 and 2 * delta_i >= self.sample_instructions:
+        if include_trailing_window(delta_i, self.sample_instructions):
             delta_c = simulator.cycles - self._last_cycles
             self.series.append(delta_i / delta_c if delta_c else 0.0)
 
@@ -249,6 +263,114 @@ class _StaticHintsState(ProbeState):
                 ]
                 for signature, policy in cde.decided_policies()
             ],
+        }
+
+    def value(self) -> dict:
+        return self.data
+
+
+# ------------------------------------------------------------ observability
+
+
+@dataclass(frozen=True)
+class TraceProbe(ProbeSpec):
+    """Chrome ``trace_event`` export of the run's event stream.
+
+    Requires the tracer to run at ``obs_level="full"``; the engine raises
+    the job's effective level automatically when this probe is present.
+    The value is the complete Chrome trace JSON object (``traceEvents``
+    plus metadata) — load it at https://ui.perfetto.dev or write it to a
+    file with ``python -m repro trace``.
+    """
+
+    @property
+    def name(self) -> str:
+        return "trace"
+
+    def build(self) -> "_TraceState":
+        return _TraceState()
+
+
+class _TraceState(ProbeState):
+    name = "trace"
+
+    def __init__(self) -> None:
+        self.data: dict = {}
+
+    def finish(self, simulator, result) -> None:
+        from repro.obs.export import chrome_trace
+
+        tracer = simulator.tracer
+        self.data = chrome_trace(
+            tracer.events(),
+            frequency_hz=simulator.design.frequency_hz,
+            end_cycles=simulator.cycles,
+            mlc_full_ways=simulator.design.mlc_assoc,
+            benchmark=result.benchmark,
+            design=result.design,
+            dropped=tracer.dropped,
+        )
+
+    def value(self) -> dict:
+        return self.data
+
+
+@dataclass(frozen=True)
+class MetricsProbe(ProbeSpec):
+    """Metrics-registry snapshot plus a windowed-IPC histogram.
+
+    Requires ``obs_level`` of at least ``metrics`` (the engine raises the
+    job's effective level automatically).  Windows are cut at the same
+    instruction boundaries as :class:`IPCSeriesProbe`, and the trailing
+    partial window follows the shared :func:`include_trailing_window`
+    rule, so for equal ``sample_instructions`` the histogram's ``count``
+    always equals the IPC series' length.
+    """
+
+    sample_instructions: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.sample_instructions < 1:
+            raise ValueError("sample_instructions must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return "metrics"
+
+    def build(self) -> "_MetricsState":
+        return _MetricsState(self.sample_instructions)
+
+
+class _MetricsState(ProbeState):
+    name = "metrics"
+
+    def __init__(self, sample_instructions: int) -> None:
+        from repro.obs.metrics import Histogram
+
+        self.sample_instructions = sample_instructions
+        self._hist = Histogram()
+        self._last_cycles = 0.0
+        self._last_instr = 0
+        self._boundary = sample_instructions
+        self.data: dict = {}
+
+    def on_block(self, block_exec, cycles: float, instructions: int) -> None:
+        if instructions >= self._boundary:
+            delta_c = cycles - self._last_cycles
+            delta_i = instructions - self._last_instr
+            self._hist.observe(delta_i / delta_c if delta_c else 0.0)
+            self._last_cycles = cycles
+            self._last_instr = instructions
+            self._boundary += self.sample_instructions
+
+    def finish(self, simulator, result) -> None:
+        delta_i = result.instructions - self._last_instr
+        if include_trailing_window(delta_i, self.sample_instructions):
+            delta_c = simulator.cycles - self._last_cycles
+            self._hist.observe(delta_i / delta_c if delta_c else 0.0)
+        self.data = {
+            "snapshot": dict(result.metrics),
+            "windowed_ipc": self._hist.to_dict(),
         }
 
     def value(self) -> dict:

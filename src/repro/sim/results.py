@@ -43,6 +43,9 @@ class SimulationResult:
     new_phases: int = 0
     switch_counts: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Metrics-registry snapshot (``repro.obs.metrics``); populated only
+    #: when the run's ``obs_level`` is ``metrics`` or ``full``, else empty.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -103,6 +106,7 @@ class SimulationResult:
             "new_phases": self.new_phases,
             "switch_counts": dict(self.switch_counts),
             "extra": dict(self.extra),
+            "metrics": dict(self.metrics),
             "derived": {
                 "ipc": self.ipc,
                 "mispredict_rate": self.mispredict_rate,
@@ -145,6 +149,7 @@ class SimulationResult:
             new_phases=data["new_phases"],
             switch_counts=dict(data["switch_counts"]),
             extra=dict(data["extra"]),
+            metrics=dict(data.get("metrics", {})),
         )
 
 

@@ -9,6 +9,8 @@ from repro.bt.runtime import BTRuntime, ExecMode
 from repro.core.config import PowerChopConfig
 from repro.core.controller import PowerChopController
 from repro.core.timeout import TimeoutVPUController
+from repro.obs.collect import collect_metrics
+from repro.obs.tracer import DEFAULT_CAPACITY, Tracer
 from repro.power.accounting import EnergyAccounting
 from repro.sim.results import SimulationResult
 from repro.staticcheck.hints import build_hints
@@ -44,11 +46,18 @@ class HybridSimulator:
         mode: GatingMode = GatingMode.FULL,
         powerchop_config: Optional[PowerChopConfig] = None,
         timeout_cycles: float = 20_000.0,
+        obs_level: str = "off",
+        obs_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         self.design = design
         self.workload = workload
         self.mode = mode
-        self.core = CoreModel(design)
+        #: The run's observability handle (``off``: inert — the run loop
+        #: and every instrumented component pay one branch at most;
+        #: ``metrics``: the registry snapshot lands on the result;
+        #: ``full``: typed events stream into the tracer's ring buffer).
+        self.tracer = Tracer(obs_level, obs_capacity)
+        self.core = CoreModel(design, tracer=self.tracer)
 
         config: Optional[PowerChopConfig] = None
         static_hints = None
@@ -58,7 +67,12 @@ class HybridSimulator:
                 # The ahead-of-execution pass the binary translator could
                 # run over every region it will ever translate.
                 static_hints = build_hints(regions_of(workload))
-        self.bt = BTRuntime(design, regions_of(workload), static_hints=static_hints)
+        self.bt = BTRuntime(
+            design,
+            regions_of(workload),
+            static_hints=static_hints,
+            tracer=self.tracer,
+        )
 
         if mode is GatingMode.MINIMAL:
             self.core.apply_vpu_state(False)
@@ -79,10 +93,12 @@ class HybridSimulator:
                 self.core,
                 self.bt.nucleus,
                 self.accountant,
+                tracer=self.tracer,
             )
         elif mode is GatingMode.TIMEOUT:
             self.timeout_controller = TimeoutVPUController(
-                design, self.core, timeout_cycles, self.accountant
+                design, self.core, timeout_cycles, self.accountant,
+                tracer=self.tracer,
             )
 
         self.cycles = 0.0
@@ -109,12 +125,16 @@ class HybridSimulator:
         bt = self.bt
         controller = self.controller
         timeout_controller = self.timeout_controller
+        tracer = self.tracer
         execute_block = core.execute_block
         on_block = bt.on_block
         interpreted = ExecMode.INTERPRETED
         cycles = 0.0
 
-        if not probes:
+        if not probes and not tracer.active:
+            # The tight loop: identical to the pre-observability hot path
+            # (the tracer costs nothing here; instrumented components pay
+            # one dead branch each at most).
             for block_exec in self.workload.trace(max_instructions):
                 if timeout_controller is not None:
                     cycles += timeout_controller.on_block(block_exec, cycles)
@@ -128,6 +148,9 @@ class HybridSimulator:
                 probe.attach(self)
             windows_seen = controller.windows_seen if controller else 0
             for block_exec in self.workload.trace(max_instructions):
+                # Keep the tracer clock current so components without a
+                # cycle count in scope can still timestamp their events.
+                tracer.now = cycles
                 if timeout_controller is not None:
                     cycles += timeout_controller.on_block(block_exec, cycles)
                 exec_mode, bt_cycles, entered = on_block(block_exec.block)
@@ -144,6 +167,7 @@ class HybridSimulator:
                         probe.on_window(windows_seen, cycles)
 
         self.cycles = cycles
+        tracer.now = cycles
         result = self._build_result()
         for probe in probes:
             probe.finish(self, result)
@@ -193,6 +217,8 @@ class HybridSimulator:
             result.extra["static_vpu_windows_skipped"] = float(
                 controller.cde.static_vpu_windows_skipped
             )
+        if self.tracer.metrics_on:
+            result.metrics = collect_metrics(self, result).snapshot()
         return result
 
 
@@ -204,6 +230,7 @@ def run_simulation(
     powerchop_config: Optional[PowerChopConfig] = None,
     timeout_cycles: float = 20_000.0,
     seed: Optional[int] = None,
+    obs_level: str = "off",
 ) -> SimulationResult:
     """Convenience wrapper: build the workload, run once, return the result.
 
@@ -219,5 +246,6 @@ def run_simulation(
         mode=mode,
         powerchop_config=powerchop_config,
         timeout_cycles=timeout_cycles,
+        obs_level=obs_level,
     )
     return simulator.run(max_instructions)

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.isa.blocks import BlockExec
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.uarch.branch.unit import BranchUnit
 from repro.uarch.cache.cache import SetAssocCache
 from repro.uarch.cache.hierarchy import CacheHierarchy
@@ -64,8 +66,9 @@ class CoreModel:
       the VPU is gated off.
     """
 
-    def __init__(self, design: DesignPoint) -> None:
+    def __init__(self, design: DesignPoint, tracer: Optional[Tracer] = None) -> None:
         self.design = design
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         bpu_params = design.bpu
         self.bpu = BranchUnit(
             large_local_entries=bpu_params.large_local_entries,
@@ -167,4 +170,11 @@ class CoreModel:
         """Way-gate the MLC; returns dirty lines flushed (writeback cost)."""
         dirty = self.hierarchy.set_mlc_ways(n_ways)
         self.states.mlc_ways = n_ways
+        tracer = self.tracer
+        if dirty and tracer.active:
+            tracer.emit(
+                EventKind.WAYBACK_WRITEBACK,
+                tracer.now,
+                {"cache": "mlc", "dirty_lines": dirty, "ways": n_ways},
+            )
         return dirty

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -331,8 +332,13 @@ class SyntheticWorkload:
         while True:
             for phase_name, n_blocks in self.schedule:
                 phase = self.phases[phase_name]
+                # crc32, not hash(): str hashing is salted per process
+                # (PYTHONHASHSEED), and a hash-dependent seed would make
+                # traces differ across processes — breaking the engine's
+                # serial-vs-pool bit-identity and golden-trace fixtures.
                 stream = phase.address_stream(
-                    self._phase_order[phase_name], self.seed ^ hash(phase_name) & 0xFFFF
+                    self._phase_order[phase_name],
+                    self.seed ^ zlib.crc32(phase_name.encode()) & 0xFFFF,
                 )
                 region = phase.region
                 region_blocks = region.blocks

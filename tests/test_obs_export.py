@@ -1,0 +1,202 @@
+"""Exporter tests: Chrome trace structure, gating timelines, the trace CLI."""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.export import (
+    TRACKS,
+    chrome_trace,
+    gating_intervals,
+    render_timeline,
+    trace_to_jsonable,
+)
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import SERVER
+from repro.workloads.profiles import build_workload
+
+
+@pytest.fixture
+def traced_run(tiny_profile, quick_config):
+    simulator = HybridSimulator(
+        SERVER,
+        build_workload(tiny_profile),
+        GatingMode.POWERCHOP,
+        powerchop_config=quick_config,
+        obs_level="full",
+    )
+    simulator.run(120_000)
+    return simulator
+
+
+def _build_trace(simulator, **overrides):
+    kwargs = dict(
+        frequency_hz=simulator.design.frequency_hz,
+        end_cycles=simulator.cycles,
+        mlc_full_ways=simulator.design.mlc_assoc,
+        benchmark=simulator.workload.name,
+        design=simulator.design.name,
+        dropped=simulator.tracer.dropped,
+    )
+    kwargs.update(overrides)
+    return chrome_trace(simulator.tracer.events(), **kwargs)
+
+
+def _assert_structurally_valid(trace):
+    """The ISSUE's structural-validity contract for Chrome traces."""
+    assert isinstance(trace["traceEvents"], list)
+    last_ts = defaultdict(lambda: float("-inf"))
+    open_depth = defaultdict(int)
+    for event in trace["traceEvents"]:
+        assert {"name", "ph", "pid", "tid"} <= set(event)
+        if event["ph"] == "M":
+            continue
+        track = (event["pid"], event["tid"])
+        assert event["ts"] >= last_ts[track], f"ts regressed on track {track}"
+        last_ts[track] = event["ts"]
+        if event["ph"] == "B":
+            open_depth[track] += 1
+        elif event["ph"] == "E":
+            open_depth[track] -= 1
+            assert open_depth[track] >= 0, f"E without B on track {track}"
+    assert all(depth == 0 for depth in open_depth.values()), "unclosed B slices"
+
+
+class TestChromeTrace:
+    def test_structure(self, traced_run):
+        trace = _build_trace(traced_run)
+        _assert_structurally_valid(trace)
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"]["benchmark"] == "tiny"
+        # Real runs emit actual content, not just metadata.
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert "B" in phases and "E" in phases and "i" in phases
+
+    def test_json_serialisable(self, traced_run):
+        json.dumps(_build_trace(traced_run))
+
+    def test_track_metadata_present(self, traced_run):
+        trace = _build_trace(traced_run)
+        names = {
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert names == set(TRACKS)
+
+    def test_valid_under_ring_truncation(self, tiny_profile, quick_config):
+        """A trace whose B events were dropped must still be well-formed."""
+        simulator = HybridSimulator(
+            SERVER,
+            build_workload(tiny_profile),
+            GatingMode.POWERCHOP,
+            powerchop_config=quick_config,
+            obs_level="full",
+            obs_capacity=16,
+        )
+        simulator.run(120_000)
+        assert simulator.tracer.dropped > 0
+        trace = _build_trace(simulator)
+        _assert_structurally_valid(trace)
+        assert trace["otherData"]["events_dropped"] == simulator.tracer.dropped
+
+    def test_timestamps_scaled_to_microseconds(self, traced_run):
+        trace = _build_trace(traced_run)
+        scale = 1e6 / traced_run.design.frequency_hz
+        bounded = traced_run.cycles * scale + 1e-9
+        for event in trace["traceEvents"]:
+            if event["ph"] != "M":
+                assert 0.0 <= event["ts"] <= bounded
+
+
+class TestGatingIntervals:
+    def _gate(self, ts, unit, frm, to, cost):
+        kind = (
+            EventKind.UNIT_GATE
+            if (to < frm if unit == "mlc" else frm and not to)
+            else EventKind.UNIT_REGATE
+        )
+        return TraceEvent(
+            ts, kind, {"unit": unit, "from": frm, "to": to, "cost_cycles": cost}
+        )
+
+    def test_reconstruction(self):
+        events = [
+            self._gate(100.0, "vpu", 1, 0, 530.0),
+            self._gate(400.0, "vpu", 0, 1, 530.0),
+            self._gate(250.0, "mlc", 8, 2, 64.0),
+        ]
+        events.sort(key=lambda event: event.ts)
+        intervals = gating_intervals(events, 1000.0)
+        assert ("vpu", 0.0, 100.0, "on", 0.0) in intervals
+        assert ("vpu", 100.0, 400.0, "gated", 530.0) in intervals
+        assert ("vpu", 400.0, 1000.0, "on", 530.0) in intervals
+        assert ("mlc", 0.0, 250.0, "full", 0.0) in intervals
+        assert ("mlc", 250.0, 1000.0, "ways=2", 64.0) in intervals
+        # Unmanaged unit: one full-run interval in its initial state.
+        assert ("bpu", 0.0, 1000.0, "on", 0.0) in intervals
+
+    def test_intervals_tile_the_run(self, traced_run):
+        intervals = gating_intervals(traced_run.tracer.events(), traced_run.cycles)
+        by_unit = defaultdict(list)
+        for unit, start, stop, _state, _cost in intervals:
+            by_unit[unit].append((start, stop))
+        for unit, spans in by_unit.items():
+            assert spans[0][0] == 0.0
+            assert spans[-1][1] == traced_run.cycles
+            for (_, prev_stop), (next_start, _) in zip(spans, spans[1:]):
+                assert prev_stop == next_start, f"gap in {unit} timeline"
+
+    def test_render_text(self):
+        intervals = [("vpu", 0.0, 100.0, "on", 0.0)]
+        text = render_timeline(intervals)
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "unit", "start_cycles", "end_cycles", "state", "entry_cost_cycles",
+        ]
+        assert "vpu" in lines[2]
+
+    def test_render_csv(self):
+        import csv
+        import io
+
+        intervals = [("mlc", 0.0, 64.5, "ways=2", 128.0)]
+        rows = list(csv.reader(io.StringIO(render_timeline(intervals, fmt="csv"))))
+        assert rows[0][0] == "unit"
+        assert rows[1] == ["mlc", "0.0", "64.5", "ways=2", "128.0"]
+
+    def test_render_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="timeline format"):
+            render_timeline([], fmt="yaml")
+
+    def test_trace_to_jsonable(self, traced_run):
+        json.dumps(trace_to_jsonable(traced_run.tracer.events()))
+
+
+class TestTraceCommand:
+    def test_writes_trace_and_timeline(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "trace.json"
+        timeline = tmp_path / "timeline.csv"
+        code = main(
+            [
+                "trace",
+                "bzip2",
+                "-n",
+                "150000",
+                "-s",
+                "7",
+                "--out",
+                str(out),
+                "--timeline",
+                str(timeline),
+            ]
+        )
+        assert code == 0
+        trace = json.loads(out.read_text())
+        _assert_structurally_valid(trace)
+        assert timeline.read_text().startswith("unit,start_cycles")
+        assert "perfetto" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Observability must not perturb simulation: off vs full bit-identity.
+
+``obs_level="off"`` must produce bit-identical results to ``"full"`` —
+tracing is observation, never interference.  Tier-1 checks a sample of
+profiles across modes; the full 29-profile sweep lives in
+``benchmarks/test_obs_overhead.py`` behind the slow marker.
+"""
+
+import pytest
+
+from repro.core.config import PowerChopConfig
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import design_for_suite
+from repro.workloads.profiles import build_workload
+from repro.workloads.suites import get_profile
+
+#: One profile per suite family, exercising distinct unit behaviours.
+SAMPLED_PROFILES = ("bzip2", "milc", "blackscholes", "google", "libquantum")
+
+_QUICK = PowerChopConfig(window_size=100, warmup_windows=1)
+
+
+def _run(name, mode, obs_level, seed=7, max_instructions=120_000):
+    profile = get_profile(name)
+    simulator = HybridSimulator(
+        design_for_suite(profile.suite),
+        build_workload(profile, seed),
+        mode,
+        powerchop_config=_QUICK if mode is GatingMode.POWERCHOP else None,
+        obs_level=obs_level,
+    )
+    result = simulator.run(max_instructions)
+    return simulator, result
+
+
+def _comparable(result):
+    """Result dict minus the metrics snapshot (only populated when on)."""
+    data = result.to_dict()
+    data.pop("metrics")
+    return data
+
+
+@pytest.mark.parametrize("profile_name", SAMPLED_PROFILES)
+def test_off_vs_full_bit_identical_powerchop(profile_name):
+    _off_sim, off = _run(profile_name, GatingMode.POWERCHOP, "off")
+    full_sim, full = _run(profile_name, GatingMode.POWERCHOP, "full")
+    assert _comparable(off) == _comparable(full)
+    # The traced run really did trace — this is not an accidentally-inert
+    # comparison.
+    assert full_sim.tracer.emitted > 0
+
+
+@pytest.mark.parametrize("mode", [GatingMode.FULL, GatingMode.TIMEOUT])
+def test_off_vs_full_bit_identical_other_modes(mode):
+    _off_sim, off = _run("bzip2", mode, "off")
+    _full_sim, full = _run("bzip2", mode, "full")
+    assert _comparable(off) == _comparable(full)
+
+
+def test_off_vs_metrics_bit_identical():
+    _off_sim, off = _run("bzip2", GatingMode.POWERCHOP, "metrics")
+    _full_sim, full = _run("bzip2", GatingMode.POWERCHOP, "off")
+    data_metrics = _comparable(off)
+    data_off = _comparable(full)
+    assert data_metrics == data_off
+
+
+def test_decided_policies_identical():
+    """Gating decisions specifically must match event-for-event."""
+    off_sim, _ = _run("bzip2", GatingMode.POWERCHOP, "off")
+    full_sim, _ = _run("bzip2", GatingMode.POWERCHOP, "full")
+    off_policies = [
+        (signature, policy.as_tuple() if hasattr(policy, "as_tuple") else
+         (policy.vpu_on, policy.bpu_on, policy.mlc_ways))
+        for signature, policy in off_sim.controller.cde.decided_policies()
+    ]
+    full_policies = [
+        (signature, policy.as_tuple() if hasattr(policy, "as_tuple") else
+         (policy.vpu_on, policy.bpu_on, policy.mlc_ways))
+        for signature, policy in full_sim.controller.cde.decided_policies()
+    ]
+    assert off_policies == full_policies

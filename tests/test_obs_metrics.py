@@ -1,0 +1,151 @@
+"""Metrics registry tests: instruments, snapshot schema, legacy parity."""
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.sim.simulator import GatingMode
+
+
+class TestMetricKey:
+    def test_unlabelled(self):
+        assert metric_key("cycles", {}) == "cycles"
+
+    def test_labels_sorted(self):
+        key = metric_key("cache_hits", {"level": "2", "cache": "mlc"})
+        assert key == "cache_hits{cache=mlc,level=2}"
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="increase"):
+            Counter().inc(-1)
+
+    def test_gauge_sets(self):
+        gauge = Gauge()
+        gauge.set(2.5)
+        gauge.set(-1.0)
+        assert gauge.value == -1.0
+
+    def test_histogram_summary(self):
+        hist = Histogram()
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.to_dict() == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+        assert hist.mean == 2.0
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.to_dict() == {"count": 0, "sum": 0.0, "min": None, "max": None}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits", cache="l1") is registry.counter(
+            "hits", cache="l1"
+        )
+        assert registry.counter("hits", cache="l1") is not registry.counter(
+            "hits", cache="mlc"
+        )
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("cycles")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("cycles")
+
+    def test_snapshot_schema_and_sorted_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc(1)
+        registry.counter("alpha").inc(2)
+        registry.gauge("cycles").set(10.0)
+        registry.histogram("ipc").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["schema"] == METRICS_SCHEMA_VERSION
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert snap["gauges"] == {"cycles": 10.0}
+        assert snap["histograms"]["ipc"]["count"] == 1
+
+
+class TestResultSnapshot:
+    def test_off_leaves_metrics_empty(self, run_quick):
+        result, _sim = run_quick(GatingMode.FULL)
+        assert result.metrics == {}
+
+    @pytest.mark.parametrize("level", ["metrics", "full"])
+    def test_snapshot_lands_on_result(self, tiny_profile, level):
+        from repro.uarch.config import SERVER
+        from repro.sim.simulator import HybridSimulator
+        from repro.workloads.profiles import build_workload
+
+        simulator = HybridSimulator(
+            SERVER, build_workload(tiny_profile), GatingMode.FULL, obs_level=level
+        )
+        result = simulator.run(60_000)
+        assert result.metrics["schema"] == METRICS_SCHEMA_VERSION
+        assert result.metrics["counters"]["instructions"] == result.instructions
+
+    def test_legacy_parity(self, run_quick):
+        """Registry totals equal the legacy result fields (A/B parity)."""
+        result, sim = run_quick(GatingMode.POWERCHOP)
+        from repro.obs.collect import collect_metrics
+
+        counters = collect_metrics(sim, result).snapshot()["counters"]
+        assert counters["instructions"] == result.instructions
+        assert counters["micro_ops"] == result.micro_ops
+        assert counters["branches"] == result.branches
+        assert counters["mispredicts"] == result.mispredicts
+        assert counters["cache_hits{cache=l1}"] == result.l1_hits
+        assert counters["cache_misses{cache=l1}"] == result.l1_misses
+        assert counters["cache_hits{cache=mlc}"] == result.mlc_hits
+        assert counters["cache_misses{cache=mlc}"] == result.mlc_misses
+        assert counters["cache_writebacks{cache=mlc}"] == result.mlc_writebacks
+        assert (
+            counters["bt_interpreted_instructions"]
+            == result.interpreted_instructions
+        )
+        assert counters["bt_translations_built"] == result.translations_built
+        assert counters["windows"] == result.windows
+        assert counters["pvt_lookups"] == result.pvt_lookups
+        assert counters["pvt_hits"] == result.pvt_hits
+        assert counters["pvt_misses"] == result.pvt_misses
+        assert counters["pvt_evictions"] == result.pvt_evictions
+        assert counters["cde_invocations"] == result.cde_invocations
+        assert counters["cde_new_phases"] == result.new_phases
+        for unit, count in result.switch_counts.items():
+            assert counters[f"unit_switches{{unit={unit}}}"] == count
+
+    def test_metrics_round_trip_through_result_dict(self, tiny_profile):
+        from repro.sim.results import SimulationResult
+        from repro.sim.simulator import HybridSimulator
+        from repro.uarch.config import SERVER
+        from repro.workloads.profiles import build_workload
+
+        simulator = HybridSimulator(
+            SERVER, build_workload(tiny_profile), GatingMode.FULL, obs_level="metrics"
+        )
+        result = simulator.run(60_000)
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.metrics == result.metrics
+
+    def test_from_dict_tolerates_pre_metrics_payloads(self, run_quick):
+        from repro.sim.results import SimulationResult
+
+        result, _sim = run_quick(GatingMode.FULL)
+        data = result.to_dict()
+        del data["metrics"]  # cache entries written before the field existed
+        assert SimulationResult.from_dict(data).metrics == {}
