@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Simulator throughput benchmark: measure, record, and gate regressions.
+
+Measures M guest-instructions/s per gating mode on a pinned benchmark set
+(best of ``--repeats`` runs, to damp machine noise) and maintains
+``BENCH_simloop.json`` at the repo root:
+
+- ``--update``  append the measurement as the new ``current`` entry
+  (the previous ``current`` is kept in ``history``);
+- ``--check``   compare the fresh measurement against the committed
+  ``current`` entry and exit non-zero when any mode on any pinned profile
+  regressed by more than ``--tolerance`` (default 30 %) — the CI
+  perf-smoke gate.
+
+Usage:
+    python scripts/bench_throughput.py [--profiles gobmk bzip2]
+        [--budget 1000000] [--repeats 3] [--update] [--check]
+        [--tolerance 0.30] [--output BENCH_simloop.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.uarch.config import design_for_suite
+from repro.workloads.profiles import build_workload
+from repro.workloads.suites import get_profile
+
+MODES = (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL)
+DEFAULT_PROFILES = ("gobmk", "bzip2")
+
+
+def measure_once(benchmark: str, budget: int, mode: GatingMode) -> float:
+    """One timed run; returns guest instructions per second."""
+    profile = get_profile(benchmark)
+    design = design_for_suite(profile.suite)
+    workload = build_workload(profile)
+    simulator = HybridSimulator(design, workload, mode)
+    start = time.perf_counter()
+    result = simulator.run(budget)
+    elapsed = time.perf_counter() - start
+    return result.instructions / elapsed
+
+
+def measure(profiles, budget: int, repeats: int) -> dict:
+    """Best-of-N throughput (M instr/s) per profile per mode."""
+    rates: dict = {}
+    for name in profiles:
+        rates[name] = {}
+        for mode in MODES:
+            best = max(measure_once(name, budget, mode) for _ in range(repeats))
+            rates[name][mode.value] = round(best / 1e6, 3)
+            print(
+                f"{name:14s} {mode.value:10s} "
+                f"{rates[name][mode.value]:6.2f} M guest-instructions/s"
+            )
+    return rates
+
+
+def load_record(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"history": []}
+
+
+def check_regression(record: dict, rates: dict, tolerance: float) -> int:
+    """Compare fresh rates to the committed ``current``; returns exit code."""
+    committed = record.get("current")
+    if not committed:
+        print("no committed entry to compare against; skipping gate")
+        return 0
+    floor = 1.0 - tolerance
+    failures = []
+    for name, modes in rates.items():
+        base_modes = committed.get("rates", {}).get(name)
+        if not base_modes:
+            continue
+        for mode_name, rate in modes.items():
+            base = base_modes.get(mode_name)
+            if base and rate < base * floor:
+                failures.append(
+                    f"{name}/{mode_name}: {rate:.2f} M/s < "
+                    f"{floor:.0%} of committed {base:.2f} M/s"
+                )
+    if failures:
+        print("throughput regression detected:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print(f"throughput within {tolerance:.0%} of the committed baseline")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profiles", nargs="+", default=list(DEFAULT_PROFILES))
+    parser.add_argument("--budget", type=int, default=1_000_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--update", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_simloop.json",
+    )
+    parser.add_argument("--label", default="")
+    args = parser.parse_args()
+
+    rates = measure(args.profiles, args.budget, args.repeats)
+    record = load_record(args.output)
+
+    exit_code = 0
+    if args.check:
+        exit_code = check_regression(record, rates, args.tolerance)
+
+    if args.update:
+        previous = record.get("current")
+        speedup = {}
+        if previous:
+            record.setdefault("history", []).append(previous)
+            for name, modes in rates.items():
+                base_modes = previous.get("rates", {}).get(name, {})
+                speedup[name] = {
+                    mode_name: round(rate / base_modes[mode_name], 2)
+                    for mode_name, rate in modes.items()
+                    if base_modes.get(mode_name)
+                }
+        record["current"] = {
+            "label": args.label or "bench_throughput run",
+            "budget": args.budget,
+            "repeats": args.repeats,
+            "rates": rates,
+        }
+        if speedup:
+            record["current"]["speedup_vs_previous"] = speedup
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,19 @@ mode and, with ``--cprofile``, the top functions by cumulative time.  Used
 to keep the full 29-app benchmark suite within its time budget.
 
 Usage:
-    python scripts/profile_simulator.py [benchmark] [instructions] [--cprofile]
+    python scripts/profile_simulator.py [benchmark] [instructions]
+        [--cprofile] [--json] [--no-fastpath]
+
+``--json`` emits ``{"mode": instr_per_second, ...}`` on stdout (for
+scripts/bench_throughput.py and the CI perf-smoke job); ``--no-fastpath``
+measures the reference execution loop instead of the steady-phase fast
+path.
 """
 
 from __future__ import annotations
 
 import cProfile
+import json
 import pstats
 import sys
 import time
@@ -22,11 +29,13 @@ from repro.workloads.profiles import build_workload
 from repro.workloads.suites import get_profile
 
 
-def throughput(benchmark: str, budget: int, mode: GatingMode) -> float:
+def throughput(
+    benchmark: str, budget: int, mode: GatingMode, fastpath: bool = True
+) -> float:
     profile = get_profile(benchmark)
     design = design_for_suite(profile.suite)
     workload = build_workload(profile)
-    simulator = HybridSimulator(design, workload, mode)
+    simulator = HybridSimulator(design, workload, mode, fastpath=fastpath)
     start = time.perf_counter()
     result = simulator.run(budget)
     elapsed = time.perf_counter() - start
@@ -37,16 +46,26 @@ def main() -> None:
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     benchmark = args[0] if args else "gobmk"
     budget = int(args[1]) if len(args) > 1 else 1_000_000
+    fastpath = "--no-fastpath" not in sys.argv
+    as_json = "--json" in sys.argv
 
+    rates = {}
     for mode in (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL):
-        rate = throughput(benchmark, budget, mode)
-        print(f"{mode.value:10s} {rate / 1e6:6.2f} M guest-instructions/s")
+        rates[mode.value] = throughput(benchmark, budget, mode, fastpath)
+
+    if as_json:
+        print(json.dumps(rates))
+    else:
+        for mode_name, rate in rates.items():
+            print(f"{mode_name:10s} {rate / 1e6:6.2f} M guest-instructions/s")
 
     if "--cprofile" in sys.argv:
         profile = get_profile(benchmark)
         design = design_for_suite(profile.suite)
         workload = build_workload(profile)
-        simulator = HybridSimulator(design, workload, GatingMode.POWERCHOP)
+        simulator = HybridSimulator(
+            design, workload, GatingMode.POWERCHOP, fastpath=fastpath
+        )
         profiler = cProfile.Profile()
         profiler.enable()
         simulator.run(budget)

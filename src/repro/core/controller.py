@@ -127,6 +127,11 @@ class PowerChopController:
 
     def _window_end(self, now_cycles: float) -> float:
         self.windows_seen += 1
+        listener = self.core.fastpath_listener
+        if listener is not None:
+            # Window boundaries are where phase behaviour may shift:
+            # conservatively reset the fast path's replay streaks.
+            listener.note_window()
         signature = self.htb.signature(self.config.signature_length)
         tracer = self.tracer
         if tracer.active:
@@ -274,6 +279,9 @@ class PowerChopController:
         design = self.design
         cycles = 0.0
         self._measure_warming = False
+        listener = core.fastpath_listener
+        if listener is not None:
+            listener.note_policy_action()
 
         if payload.vpu_on != core.states.vpu_on:
             # Only the static pre-pass arms a measurement window with the
@@ -329,6 +337,9 @@ class PowerChopController:
         states = core.states
         cycles = 0.0
         core.bpu.force_small = False
+        listener = core.fastpath_listener
+        if listener is not None:
+            listener.note_policy_action()
 
         if policy.vpu_on != states.vpu_on:
             cost = design.vpu_switch_cycles + design.vpu_save_restore_cycles

@@ -66,9 +66,17 @@ class TimeoutVPUController:
         arriving at a gated-off VPU wakes the unit first (stalling execution
         for the transition, per §IV-D).  Returns stall cycles.
         """
+        return self.step(block_exec.block.n_vec > 0, now_cycles)
+
+    def step(self, uses_vpu: bool, now_cycles: float) -> float:
+        """Policy core, taking the block's VPU use directly.
+
+        Split from :meth:`on_block` so the fast-path run loop (which never
+        materialises :class:`BlockExec` objects) can drive the identical
+        state machine.
+        """
         design = self.design
         core = self.core
-        uses_vpu = block_exec.block.n_vec > 0
         cycles = 0.0
 
         if uses_vpu:

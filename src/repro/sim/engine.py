@@ -103,6 +103,11 @@ class SimJob:
     collect_phase_log: bool = False
     probes: Tuple[ProbeSpec, ...] = ()
     obs_level: str = "off"
+    #: Steady-phase fast path toggle.  Deliberately EXCLUDED from key():
+    #: the fast path is bit-identical to the reference loop (enforced by
+    #: tests/test_fastpath.py), so both settings produce the same result
+    #: and may share cache entries.
+    fastpath: bool = True
     configure: Optional[Callable[[HybridSimulator], None]] = None
     cache_tag: str = ""
 
@@ -229,6 +234,7 @@ def execute_job(job: SimJob) -> JobRecord:
         powerchop_config=job.resolve_config(),
         timeout_cycles=job.timeout_cycles,
         obs_level=job.resolve_obs_level(),
+        fastpath=job.fastpath,
     )
     if job.configure is not None:
         job.configure(simulator)

@@ -49,6 +49,8 @@ def include_trailing_window(delta_instructions: int, sample_instructions: int) -
 class ProbeState:
     """Per-run observer; subclasses override the hooks they need."""
 
+    __slots__ = ()
+
     name: str = "probe"
 
     def attach(self, simulator) -> None:  # noqa: B027 - optional hook
@@ -106,6 +108,8 @@ class IPCSeriesProbe(ProbeSpec):
 
 
 class _IPCSeriesState(ProbeState):
+    __slots__ = ("sample_instructions", "series", "_last_cycles", "_last_instr", "_boundary")
+
     name = "ipc_series"
 
     def __init__(self, sample_instructions: int) -> None:
@@ -157,6 +161,8 @@ class PhaseLogProbe(ProbeSpec):
 
 
 class _PhaseLogState(ProbeState):
+    __slots__ = ("log",)
+
     name = "phase_log"
 
     def __init__(self) -> None:
@@ -194,6 +200,8 @@ class UnitActivityProbe(ProbeSpec):
 
 
 class _UnitActivityState(ProbeState):
+    __slots__ = ("samples", "_simulator")
+
     name = "unit_activity"
 
     def __init__(self) -> None:
@@ -238,6 +246,8 @@ class StaticHintsProbe(ProbeSpec):
 
 
 class _StaticHintsState(ProbeState):
+    __slots__ = ("data",)
+
     name = "static_hints"
 
     def __init__(self) -> None:
@@ -292,6 +302,8 @@ class TraceProbe(ProbeSpec):
 
 
 class _TraceState(ProbeState):
+    __slots__ = ("data",)
+
     name = "trace"
 
     def __init__(self) -> None:
@@ -342,6 +354,15 @@ class MetricsProbe(ProbeSpec):
 
 
 class _MetricsState(ProbeState):
+    __slots__ = (
+        "sample_instructions",
+        "_hist",
+        "_last_cycles",
+        "_last_instr",
+        "_boundary",
+        "data",
+    )
+
     name = "metrics"
 
     def __init__(self, sample_instructions: int) -> None:

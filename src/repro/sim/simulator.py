@@ -12,6 +12,7 @@ from repro.core.timeout import TimeoutVPUController
 from repro.obs.collect import collect_metrics
 from repro.obs.tracer import DEFAULT_CAPACITY, Tracer
 from repro.power.accounting import EnergyAccounting
+from repro.sim.fastpath import FastPathState, run_fast
 from repro.sim.results import SimulationResult
 from repro.staticcheck.hints import build_hints
 from repro.uarch.config import DesignPoint
@@ -48,10 +49,16 @@ class HybridSimulator:
         timeout_cycles: float = 20_000.0,
         obs_level: str = "off",
         obs_capacity: int = DEFAULT_CAPACITY,
+        fastpath: bool = True,
     ) -> None:
         self.design = design
         self.workload = workload
         self.mode = mode
+        #: Steady-phase fast path (:mod:`repro.sim.fastpath`): bit-identical
+        #: to the reference loop, so it is on by default; disable it to get
+        #: the reference execution path (the equivalence suite does).
+        self.fastpath = fastpath
+        self.fastpath_state = FastPathState() if fastpath else None
         #: The run's observability handle (``off``: inert — the run loop
         #: and every instrumented component pay one branch at most;
         #: ``metrics``: the registry snapshot lands on the result;
@@ -61,15 +68,16 @@ class HybridSimulator:
 
         config: Optional[PowerChopConfig] = None
         static_hints = None
+        regions = regions_of(workload)
         if mode is GatingMode.POWERCHOP:
             config = powerchop_config or PowerChopConfig()
             if config.use_static_hints:
                 # The ahead-of-execution pass the binary translator could
                 # run over every region it will ever translate.
-                static_hints = build_hints(regions_of(workload))
+                static_hints = build_hints(regions)
         self.bt = BTRuntime(
             design,
-            regions_of(workload),
+            regions,
             static_hints=static_hints,
             tracer=self.tracer,
         )
@@ -101,6 +109,11 @@ class HybridSimulator:
                 tracer=self.tracer,
             )
 
+        if self.fastpath_state is not None:
+            # Attached after the mode's initial gating so construction-time
+            # transitions don't count as runtime invalidations.
+            self.core.fastpath_listener = self.fastpath_state
+
         self.cycles = 0.0
         self._ran = False
 
@@ -131,10 +144,15 @@ class HybridSimulator:
         interpreted = ExecMode.INTERPRETED
         cycles = 0.0
 
-        if not probes and not tracer.active:
-            # The tight loop: identical to the pre-observability hot path
-            # (the tracer costs nothing here; instrumented components pay
-            # one dead branch each at most).
+        if self.fastpath and not probes:
+            # The steady-phase fast path (fused loop + same-line replay);
+            # bit-identical to both reference loops below, including the
+            # obs_level="full" event stream.
+            cycles = run_fast(self, max_instructions)
+        elif not probes and not tracer.active:
+            # The reference tight loop: identical to the pre-observability
+            # hot path (the tracer costs nothing here; instrumented
+            # components pay one dead branch each at most).
             for block_exec in self.workload.trace(max_instructions):
                 if timeout_controller is not None:
                     cycles += timeout_controller.on_block(block_exec, cycles)
@@ -231,6 +249,7 @@ def run_simulation(
     timeout_cycles: float = 20_000.0,
     seed: Optional[int] = None,
     obs_level: str = "off",
+    fastpath: bool = True,
 ) -> SimulationResult:
     """Convenience wrapper: build the workload, run once, return the result.
 
@@ -247,5 +266,6 @@ def run_simulation(
         powerchop_config=powerchop_config,
         timeout_cycles=timeout_cycles,
         obs_level=obs_level,
+        fastpath=fastpath,
     )
     return simulator.run(max_instructions)

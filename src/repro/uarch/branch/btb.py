@@ -41,6 +41,25 @@ class BranchTargetBuffer:
             self._entries.popitem(last=False)
         self._entries[pc] = target
 
+    def touch(self, pc: int) -> bool:
+        """Fused ``lookup`` + ``insert`` for a resolved taken branch.
+
+        Returns the lookup outcome (True on hit) and leaves the entry map
+        in the identical final state: recency refreshed, target rewritten
+        on hit; LRU victim evicted and the entry allocated on miss.
+        """
+        entries = self._entries
+        if pc in entries:
+            entries.move_to_end(pc)
+            entries[pc] = 0
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.n_entries:
+            entries.popitem(last=False)
+        entries[pc] = 0
+        return False
+
     def flush(self) -> None:
         self._entries.clear()
 

@@ -91,6 +91,25 @@ class LocalPredictor(DirectionPredictor):
         self._counters[cidx] = _saturate_up(ctr) if taken else _saturate_down(ctr)
         self._histories[hidx] = ((history << 1) | int(taken)) & self._history_bits_mask
 
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Fused ``predict`` + ``update``: one history/index computation.
+
+        Returns the pre-update prediction; the post-call table state is
+        identical to ``predict(pc)`` followed by ``update(pc, taken)``.
+        """
+        hidx = (pc >> 2) & self._hist_mask
+        history = self._histories[hidx]
+        counters = self._counters
+        cidx = history & self._pat_mask
+        ctr = counters[cidx]
+        if taken:
+            if ctr < 3:
+                counters[cidx] = ctr + 1
+        elif ctr > 0:
+            counters[cidx] = ctr - 1
+        self._histories[hidx] = ((history << 1) | taken) & self._history_bits_mask
+        return ctr >= 2
+
     def flush(self) -> None:
         for i in range(len(self._histories)):
             self._histories[i] = 0
@@ -124,6 +143,20 @@ class GSharePredictor(DirectionPredictor):
         ctr = self._counters[idx]
         self._counters[idx] = _saturate_up(ctr) if taken else _saturate_down(ctr)
         self.ghr = ((self.ghr << 1) | int(taken)) & self._ghr_mask
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Fused ``predict`` + ``update``: one GHR-index computation."""
+        ghr = self.ghr
+        idx = ((pc >> 2) ^ ghr) & self._mask
+        counters = self._counters
+        ctr = counters[idx]
+        if taken:
+            if ctr < 3:
+                counters[idx] = ctr + 1
+        elif ctr > 0:
+            counters[idx] = ctr - 1
+        self.ghr = ((ghr << 1) | taken) & self._ghr_mask
+        return ctr >= 2
 
     def flush(self) -> None:
         self.ghr = 0
@@ -179,6 +212,30 @@ class TournamentPredictor(DirectionPredictor):
                 self._chooser[cidx] = _saturate_down(ctr)
         self.local.update(pc, taken)
         self.global_pred.update(pc, taken)
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Fused ``predict`` + ``update`` over both components.
+
+        ``update`` needs both component predictions anyway (to train the
+        chooser), so fusing removes the redundant second ``predict`` walk
+        of each component's tables.  Chooser selection reads the counter
+        *before* it trains, exactly like ``predict`` before ``update``;
+        the component predictors themselves are state-independent of the
+        chooser, so the interleaved order leaves identical final state.
+        """
+        local_pred = self.local.predict_update(pc, taken)
+        global_pred = self.global_pred.predict_update(pc, taken)
+        if local_pred == global_pred:
+            return local_pred
+        chooser = self._chooser
+        cidx = (pc >> 2) & self._chooser_mask
+        ctr = chooser[cidx]
+        if global_pred == taken:
+            if ctr < 3:
+                chooser[cidx] = ctr + 1
+        elif ctr > 0:
+            chooser[cidx] = ctr - 1
+        return global_pred if ctr >= 2 else local_pred
 
     def flush(self) -> None:
         self.local.flush()

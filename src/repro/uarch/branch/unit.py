@@ -74,22 +74,86 @@ class BranchUnit:
 
         Returns ``(mispredicted, btb_redirect)``.  The small predictor
         trains continuously (it is always powered); the large side trains
-        only while gated on.
+        only while gated on.  Built on the predictors' fused
+        ``predict_update`` paths: predictions are read before the tables
+        train (the small and large sides share no state, so the order of
+        their updates relative to each other's reads is immaterial), and
+        the final predictor/BTB state is identical to separate
+        ``predict`` / ``update`` / ``lookup`` / ``insert`` calls.
         """
         self.lookups += 1
+        key = pc >> 2
         if self.large_on:
-            use_large = not self.force_small
-            if use_large:
-                prediction = self.large.predict(pc)
-                btb = self.large_btb
-            else:
-                prediction = self.small.predict(pc)
+            if self.force_small:
+                prediction = self.small.predict_update(pc, taken)
+                self.large.update(pc, taken)
                 btb = self.small_btb
-            self.large.update(pc, taken)
+            else:
+                # Hot path: the large tournament predicts while the small
+                # side trains.  The component predict_update bodies are
+                # flattened inline (same table reads/writes in the same
+                # order) to strip four call frames per branch.
+                large = self.large
+                local = large.local
+                hidx = key & local._hist_mask
+                histories = local._histories
+                history = histories[hidx]
+                counters = local._counters
+                cidx = history & local._pat_mask
+                ctr = counters[cidx]
+                if taken:
+                    if ctr < 3:
+                        counters[cidx] = ctr + 1
+                elif ctr > 0:
+                    counters[cidx] = ctr - 1
+                histories[hidx] = ((history << 1) | taken) & local._history_bits_mask
+                local_pred = ctr >= 2
+
+                gshare = large.global_pred
+                ghr = gshare.ghr
+                gidx = (key ^ ghr) & gshare._mask
+                gcounters = gshare._counters
+                gctr = gcounters[gidx]
+                if taken:
+                    if gctr < 3:
+                        gcounters[gidx] = gctr + 1
+                elif gctr > 0:
+                    gcounters[gidx] = gctr - 1
+                gshare.ghr = ((ghr << 1) | taken) & gshare._ghr_mask
+                global_pred = gctr >= 2
+
+                if local_pred == global_pred:
+                    prediction = local_pred
+                else:
+                    chooser = large._chooser
+                    chidx = key & large._chooser_mask
+                    cctr = chooser[chidx]
+                    if global_pred == taken:
+                        if cctr < 3:
+                            chooser[chidx] = cctr + 1
+                    elif cctr > 0:
+                        chooser[chidx] = cctr - 1
+                    prediction = global_pred if cctr >= 2 else local_pred
+
+                small = self.small
+                shidx = key & small._hist_mask
+                shistories = small._histories
+                shistory = shistories[shidx]
+                scounters = small._counters
+                scidx = shistory & small._pat_mask
+                sctr = scounters[scidx]
+                if taken:
+                    if sctr < 3:
+                        scounters[scidx] = sctr + 1
+                elif sctr > 0:
+                    scounters[scidx] = sctr - 1
+                shistories[shidx] = (
+                    (shistory << 1) | taken
+                ) & small._history_bits_mask
+                btb = self.large_btb
         else:
-            prediction = self.small.predict(pc)
+            prediction = self.small.predict_update(pc, taken)
             btb = self.small_btb
-        self.small.update(pc, taken)
 
         mispredicted = prediction != taken
         if mispredicted:
@@ -97,10 +161,19 @@ class BranchUnit:
 
         btb_redirect = False
         if taken:
-            if not btb.lookup(pc):
+            # Inlined BranchTargetBuffer.touch (same entry-map transitions).
+            entries = btb._entries
+            if pc in entries:
+                entries.move_to_end(pc)
+                entries[pc] = 0
+                btb.hits += 1
+            else:
+                btb.misses += 1
+                if len(entries) >= btb.n_entries:
+                    entries.popitem(last=False)
+                entries[pc] = 0
                 btb_redirect = True
                 self.btb_misses += 1
-            btb.insert(pc)
         return mispredicted, btb_redirect
 
     def gate_off(self) -> None:

@@ -2,17 +2,25 @@
 
 from __future__ import annotations
 
+#: Sentinel distinguishing "line absent" from a resident clean line (whose
+#: dirty flag is ``False``) on the allocation-free ``dict.pop`` probe.
+_ABSENT = object()
+
 
 class SetAssocCache:
     """Write-back, write-allocate set-associative cache with true LRU.
 
-    Each set is a recency-ordered list of ``[tag, dirty]`` entries (index 0
-    is MRU).  ``active_ways`` implements the MLC's way gating: lookups only
-    probe, and fills only allocate into, the first ``active_ways`` ways.
-    Shrinking the active ways *flushes* the gated ways — dirty lines are
-    counted for writeback cost and clean lines are simply lost — which is
-    exactly the state-loss behaviour Table I prescribes ("WB dirty lines,
-    lose clean lines, rewarm").
+    Each set is an insertion-ordered ``{line: dirty}`` dict: the *last* key
+    is the MRU line and the *first* key the LRU victim.  A hit pops and
+    re-inserts its key (an O(1) move-to-back), which is semantically
+    identical to the classic recency-ordered list but avoids the per-access
+    list scan and ``insert(0, ...)`` churn on the simulator's hottest path.
+    ``active_ways`` implements the MLC's way gating: lookups only probe, and
+    fills only allocate into, the first ``active_ways`` ways.  Shrinking the
+    active ways *flushes* the gated ways — dirty lines are counted for
+    writeback cost and clean lines are simply lost — which is exactly the
+    state-loss behaviour Table I prescribes ("WB dirty lines, lose clean
+    lines, rewarm").
     """
 
     def __init__(
@@ -41,7 +49,7 @@ class SetAssocCache:
             raise ValueError(f"{name}: set count {self.n_sets} not a power of two")
         self._set_mask = self.n_sets - 1
         self._line_shift = line_size.bit_length() - 1
-        self._sets = [[] for _ in range(self.n_sets)]
+        self._sets: list = [{} for _ in range(self.n_sets)]
         self.active_ways = assoc
 
         self.hits = 0
@@ -68,20 +76,16 @@ class SetAssocCache:
         line = addr >> self._line_shift
         cache_set = self._sets[line & self._set_mask]
 
-        for i, entry in enumerate(cache_set):
-            if entry[0] == line:
-                self.hits += 1
-                if i:
-                    cache_set.insert(0, cache_set.pop(i))
-                if is_write:
-                    cache_set[0][1] = True
-                return True
+        dirty = cache_set.pop(line, _ABSENT)
+        if dirty is not _ABSENT:
+            self.hits += 1
+            cache_set[line] = dirty or is_write
+            return True
 
         self.misses += 1
-        cache_set.insert(0, [line, is_write])
+        cache_set[line] = is_write
         while len(cache_set) > self.active_ways:
-            victim = cache_set.pop()
-            if victim[1]:
+            if cache_set.pop(next(iter(cache_set))):
                 self.writebacks += 1
         return False
 
@@ -97,8 +101,7 @@ class SetAssocCache:
         if n_ways < self.active_ways:
             for cache_set in self._sets:
                 while len(cache_set) > n_ways:
-                    victim = cache_set.pop()
-                    if victim[1]:
+                    if cache_set.pop(next(iter(cache_set))):
                         dirty += 1
             self.flushed_dirty += dirty
             self.writebacks += dirty
@@ -109,8 +112,8 @@ class SetAssocCache:
         """Invalidate everything; returns number of dirty lines written back."""
         dirty = 0
         for cache_set in self._sets:
-            for entry in cache_set:
-                if entry[1]:
+            for entry_dirty in cache_set.values():
+                if entry_dirty:
                     dirty += 1
             cache_set.clear()
         self.writebacks += dirty

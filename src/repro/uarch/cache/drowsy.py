@@ -27,10 +27,16 @@ class DrowsySetAssocCache(SetAssocCache):
     to sleep; an access to a drowsy line wakes it, counting toward
     ``wakes`` so the timing model can charge the wake penalty.  The
     ``drowsy_line_cycles`` integral feeds the leakage model.
+
+    Unlike the base class (whose sets are ordered dicts), the per-line
+    drowsy bit needs mutable multi-field entries, so this subclass keeps
+    the classic recency-ordered list representation (index 0 is MRU) and
+    carries its own list-based ``access``/``set_active_ways``/``flush``.
     """
 
     def __init__(self, size_kb, assoc, line_size=64, name="drowsy"):
         super().__init__(size_kb, assoc, line_size, name)
+        self._sets = [[] for _ in range(self.n_sets)]
         self.wakes = 0
         self.drowsy_count = 0
         self.drowsy_line_cycles = 0.0
@@ -47,6 +53,51 @@ class DrowsySetAssocCache(SetAssocCache):
             self.drowsy_line_cycles += self.drowsy_count * delta
             self.resident_line_cycles += self._resident_count * delta
             self._last_event_cycle = now_cycles
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Untimed lookup (list-based twin of the base-class fast path)."""
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
+        for i, entry in enumerate(cache_set):
+            if entry[0] == line:
+                self.hits += 1
+                if i:
+                    cache_set.insert(0, cache_set.pop(i))
+                if is_write:
+                    cache_set[0][1] = True
+                return True
+        self.misses += 1
+        cache_set.insert(0, [line, is_write])
+        while len(cache_set) > self.active_ways:
+            victim = cache_set.pop()
+            if victim[1]:
+                self.writebacks += 1
+        return False
+
+    def set_active_ways(self, n_ways: int) -> int:
+        if not 1 <= n_ways <= self.assoc:
+            raise ValueError(f"active ways must be in [1, {self.assoc}]")
+        dirty = 0
+        if n_ways < self.active_ways:
+            for cache_set in self._sets:
+                while len(cache_set) > n_ways:
+                    victim = cache_set.pop()
+                    if victim[1]:
+                        dirty += 1
+            self.flushed_dirty += dirty
+            self.writebacks += dirty
+        self.active_ways = n_ways
+        return dirty
+
+    def flush(self) -> int:
+        dirty = 0
+        for cache_set in self._sets:
+            for entry in cache_set:
+                if entry[1]:
+                    dirty += 1
+            cache_set.clear()
+        self.writebacks += dirty
+        return dirty
 
     def access_timed(self, addr: int, now_cycles: float, is_write: bool = False) -> bool:
         """Like :meth:`access`, but wakes drowsy lines and tracks time."""

@@ -63,6 +63,15 @@ class CacheHierarchy:
         if self.l1.access(addr, is_write):
             self.level_counts[MemoryLevel.L1] += 1
             return 0, MemoryLevel.L1
+        return self.access_below_l1(addr, is_write)
+
+    def access_below_l1(self, addr: int, is_write: bool) -> Tuple[int, MemoryLevel]:
+        """Service an access the L1 already missed (prefetcher consulted).
+
+        Split out of :meth:`access` so the fast-path run loop can probe the
+        L1 inline (one dict operation) and fall into this single monomorphic
+        call for the MLC → LLC → memory walk only on an L1 miss.
+        """
         prefetched = False
         if self.prefetcher is not None:
             prefetched = self.prefetcher.access(addr >> self._line_shift)

@@ -33,24 +33,27 @@ class StreamPrefetcher:
         stream advances to the new line either way; unmatched lines start a
         new stream in the least-recently-used slot.
         """
-        self._clock += 1
+        clock = self._clock + 1
+        self._clock = clock
         streams = self._streams
+        stamps = self._stamps
         window = self.window
-        for i, head in enumerate(streams):
+        i = 0
+        for head in streams:
             delta = line - head
-            if 0 < delta <= window:
-                streams[i] = line
-                self._stamps[i] = self._clock
+            if 0 <= delta <= window:
+                if delta:
+                    streams[i] = line
+                stamps[i] = clock
                 self.hits += 1
                 return True
-            if delta == 0:
-                self._stamps[i] = self._clock
-                self.hits += 1
-                return True
+            i += 1
         self.misses += 1
-        lru = min(range(len(streams)), key=self._stamps.__getitem__)
+        # First index holding the minimal stamp — identical victim choice
+        # to min(range(n), key=...) but at C speed.
+        lru = stamps.index(min(stamps))
         streams[lru] = line
-        self._stamps[lru] = self._clock
+        stamps[lru] = clock
         return False
 
     @property

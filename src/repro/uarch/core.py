@@ -15,7 +15,7 @@ from repro.uarch.config import DesignPoint
 from repro.uarch.vpu import VectorUnit
 
 
-@dataclass
+@dataclass(slots=True)
 class PerfCounters:
     """Hardware performance counters the CDE profiles phases with (§IV-C)."""
 
@@ -39,7 +39,7 @@ class PerfCounters:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class UnitStates:
     """Current power-gating state of the three managed units."""
 
@@ -102,6 +102,17 @@ class CoreModel:
 
         self._issue_cpi = 1.0 / design.issue_width
         self._stall_factor = design.memory_stall_factor
+        # Pre-bound hot methods: the hierarchy/VPU/BPU objects live for the
+        # whole run (gating toggles flags inside them, never replaces them),
+        # so binding once here removes two attribute walks per block from
+        # ``execute_block``.
+        self._hierarchy_access = self.hierarchy.access
+        self._vpu_execute = self.vpu.execute
+        self._bpu_predict_and_update = self.bpu.predict_and_update
+        #: Optional steady-phase fast-path observer; when set, every gating
+        #: transition notifies it so memoized replay state is conservatively
+        #: invalidated (see :mod:`repro.sim.fastpath`).
+        self.fastpath_listener = None
 
     # ----------------------------------------------------------------- run
 
@@ -112,7 +123,7 @@ class CoreModel:
         design = self.design
 
         n_vec = block.n_vec
-        extra_ops = self.vpu.execute(n_vec) if n_vec else 0
+        extra_ops = self._vpu_execute(n_vec) if n_vec else 0
         n_instr = block.n_instr
         micro_ops = n_instr + extra_ops
 
@@ -123,7 +134,7 @@ class CoreModel:
 
         addresses = block_exec.addresses
         if addresses:
-            hierarchy_access = self.hierarchy.access
+            hierarchy_access = self._hierarchy_access
             loads = block.n_loads
             stall_factor = self._stall_factor
             for i, addr in enumerate(addresses):
@@ -134,7 +145,7 @@ class CoreModel:
 
         branch = block.branch
         if branch is not None:
-            mispredicted, redirect = self.bpu.predict_and_update(
+            mispredicted, redirect = self._bpu_predict_and_update(
                 branch.pc, block_exec.taken
             )
             counters.branches += 1
@@ -158,6 +169,9 @@ class CoreModel:
         else:
             self.vpu.gate_off()
         self.states.vpu_on = powered_on
+        listener = self.fastpath_listener
+        if listener is not None:
+            listener.note_gating("vpu")
 
     def apply_bpu_state(self, large_on: bool) -> None:
         if large_on:
@@ -165,6 +179,9 @@ class CoreModel:
         else:
             self.bpu.gate_off()
         self.states.bpu_large_on = large_on
+        listener = self.fastpath_listener
+        if listener is not None:
+            listener.note_gating("bpu")
 
     def apply_mlc_state(self, n_ways: int) -> int:
         """Way-gate the MLC; returns dirty lines flushed (writeback cost)."""
@@ -177,4 +194,7 @@ class CoreModel:
                 tracer.now,
                 {"cache": "mlc", "dirty_lines": dirty, "ways": n_ways},
             )
+        listener = self.fastpath_listener
+        if listener is not None:
+            listener.note_gating("mlc")
         return dirty

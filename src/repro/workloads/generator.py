@@ -58,7 +58,16 @@ class MemoryBehavior:
 class AddressStream:
     """Stateful address generator implementing a :class:`MemoryBehavior`."""
 
-    __slots__ = ("behavior", "base", "_cursor", "_ws_bytes", "_rng", "_stream_limit")
+    __slots__ = (
+        "behavior",
+        "base",
+        "_cursor",
+        "_ws_bytes",
+        "_rng",
+        "_random",
+        "_randrange",
+        "_stream_limit",
+    )
 
     def __init__(self, behavior: MemoryBehavior, base: int, seed: int = 0) -> None:
         self.behavior = behavior
@@ -66,14 +75,18 @@ class AddressStream:
         self._cursor = 0
         self._ws_bytes = max(int(behavior.working_set_kb * 1024), behavior.stride)
         self._rng = random.Random(seed)
+        # Hoisted bound methods: ``next()`` sits on the simulator's hottest
+        # path, where the two attribute walks per RNG call are measurable.
+        self._random = self._rng.random
+        self._randrange = self._rng.randrange
         # Streams wrap within a large private region so addresses stay bounded
         # while never re-touching lines soon enough to hit in the MLC.
         self._stream_limit = _PHASE_SLOT // 2
 
     def next(self) -> int:
         behavior = self.behavior
-        if behavior.random_frac and self._rng.random() < behavior.random_frac:
-            return self.base + self._rng.randrange(self._ws_bytes)
+        if behavior.random_frac and self._random() < behavior.random_frac:
+            return self.base + self._randrange(self._ws_bytes)
         if behavior.pattern == "loop":
             addr = self.base + self._cursor
             self._cursor = (self._cursor + behavior.stride) % self._ws_bytes
@@ -82,14 +95,15 @@ class AddressStream:
             addr = self.base + self._cursor
             self._cursor = (self._cursor + behavior.stride) % self._stream_limit
             return addr
-        return self.base + self._rng.randrange(self._ws_bytes)
+        return self.base + self._randrange(self._ws_bytes)
 
     def take(self, n: int) -> List[int]:
         """Generate ``n`` addresses (hot path: avoids per-call dispatch)."""
         behavior = self.behavior
         random_frac = behavior.random_frac
         if behavior.pattern == "random" or random_frac:
-            return [self.next() for _ in range(n)]
+            next_addr = self.next
+            return [next_addr() for _ in range(n)]
         base = self.base
         cursor = self._cursor
         stride = behavior.stride
@@ -325,6 +339,13 @@ class SyntheticWorkload:
 
         The schedule repeats from the start until ``max_instructions`` guest
         instructions have been produced (or runs once when unbounded).
+
+        NOTE: :func:`repro.sim.fastpath.run_fast` inlines this generator
+        (schedule walk, per-phase stream seeding, cursor arithmetic,
+        produced-count termination) so it can fuse address generation into
+        the cache walk.  Any semantic change here must be mirrored there —
+        the fast-path equivalence suite (``tests/test_fastpath.py``) will
+        catch a divergence.
         """
         history = self.history
         produced = 0
