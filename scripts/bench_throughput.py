@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
 """Simulator throughput benchmark: measure, record, and gate regressions.
 
-Measures M guest-instructions/s per gating mode on a pinned benchmark set
-(best of ``--repeats`` runs, to damp machine noise) and maintains
-``BENCH_simloop.json`` at the repo root:
+Measures M guest-instructions/s per execution backend per gating mode on a
+pinned benchmark set (best of ``--repeats`` runs, to damp machine noise)
+and maintains ``BENCH_simloop.json`` at the repo root:
 
 - ``--update``  append the measurement as the new ``current`` entry
   (the previous ``current`` is kept in ``history``);
 - ``--check``   compare the fresh measurement against the committed
-  ``current`` entry and exit non-zero when any mode on any pinned profile
-  regressed by more than ``--tolerance`` (default 30 %) — the CI
-  perf-smoke gate.
+  ``current`` entry and exit non-zero when any backend/mode on any pinned
+  profile regressed by more than ``--tolerance`` (default 30 %) — the CI
+  perf-smoke gate.  Backends absent from the committed entry are skipped,
+  so adding a backend never trips the gate retroactively.
+
+``--backend`` may be given multiple times to measure several backends in
+one invocation; rates are recorded per backend
+(``rates[backend][profile][mode]``).  Entries written before the backend
+registry existed (flat ``rates[profile][mode]``) are read as ``fastpath``
+measurements.
 
 Usage:
     python scripts/bench_throughput.py [--profiles gobmk bzip2]
+        [--backend fastpath --backend vectorized]
         [--budget 1000000] [--repeats 3] [--update] [--check]
         [--tolerance 0.30] [--output BENCH_simloop.json]
 """
@@ -26,6 +34,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.sim.backends import available_backends
 from repro.sim.simulator import GatingMode, HybridSimulator
 from repro.uarch.config import design_for_suite
 from repro.workloads.profiles import build_workload
@@ -33,33 +42,46 @@ from repro.workloads.suites import get_profile
 
 MODES = (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL)
 DEFAULT_PROFILES = ("gobmk", "bzip2")
+DEFAULT_BACKENDS = ("fastpath",)
 
 
-def measure_once(benchmark: str, budget: int, mode: GatingMode) -> float:
+def measure_once(benchmark: str, budget: int, mode: GatingMode, backend: str) -> float:
     """One timed run; returns guest instructions per second."""
     profile = get_profile(benchmark)
     design = design_for_suite(profile.suite)
     workload = build_workload(profile)
-    simulator = HybridSimulator(design, workload, mode)
+    simulator = HybridSimulator(design, workload, mode, backend=backend)
     start = time.perf_counter()
     result = simulator.run(budget)
     elapsed = time.perf_counter() - start
     return result.instructions / elapsed
 
 
-def measure(profiles, budget: int, repeats: int) -> dict:
-    """Best-of-N throughput (M instr/s) per profile per mode."""
+def measure(profiles, budget: int, repeats: int, backends) -> dict:
+    """Best-of-N throughput (M instr/s): rates[backend][profile][mode]."""
     rates: dict = {}
-    for name in profiles:
-        rates[name] = {}
-        for mode in MODES:
-            best = max(measure_once(name, budget, mode) for _ in range(repeats))
-            rates[name][mode.value] = round(best / 1e6, 3)
-            print(
-                f"{name:14s} {mode.value:10s} "
-                f"{rates[name][mode.value]:6.2f} M guest-instructions/s"
-            )
+    for backend in backends:
+        rates[backend] = {}
+        for name in profiles:
+            rates[backend][name] = {}
+            for mode in MODES:
+                best = max(
+                    measure_once(name, budget, mode, backend)
+                    for _ in range(repeats)
+                )
+                rates[backend][name][mode.value] = round(best / 1e6, 3)
+                print(
+                    f"{backend:10s} {name:14s} {mode.value:10s} "
+                    f"{rates[backend][name][mode.value]:6.2f} M guest-instructions/s"
+                )
     return rates
+
+
+def normalize_rates(rates: dict) -> dict:
+    """Accept both layouts: per-backend, or the flat pre-registry one."""
+    if rates and all(key in available_backends() for key in rates):
+        return rates
+    return {"fastpath": rates}
 
 
 def load_record(path: Path) -> dict:
@@ -74,19 +96,25 @@ def check_regression(record: dict, rates: dict, tolerance: float) -> int:
     if not committed:
         print("no committed entry to compare against; skipping gate")
         return 0
+    base_rates = normalize_rates(committed.get("rates", {}))
     floor = 1.0 - tolerance
     failures = []
-    for name, modes in rates.items():
-        base_modes = committed.get("rates", {}).get(name)
-        if not base_modes:
+    for backend, profiles in rates.items():
+        base_profiles = base_rates.get(backend)
+        if not base_profiles:
+            print(f"no committed baseline for backend {backend!r}; skipping")
             continue
-        for mode_name, rate in modes.items():
-            base = base_modes.get(mode_name)
-            if base and rate < base * floor:
-                failures.append(
-                    f"{name}/{mode_name}: {rate:.2f} M/s < "
-                    f"{floor:.0%} of committed {base:.2f} M/s"
-                )
+        for name, modes in profiles.items():
+            base_modes = base_profiles.get(name)
+            if not base_modes:
+                continue
+            for mode_name, rate in modes.items():
+                base = base_modes.get(mode_name)
+                if base and rate < base * floor:
+                    failures.append(
+                        f"{backend}/{name}/{mode_name}: {rate:.2f} M/s < "
+                        f"{floor:.0%} of committed {base:.2f} M/s"
+                    )
     if failures:
         print("throughput regression detected:")
         for line in failures:
@@ -96,9 +124,33 @@ def check_regression(record: dict, rates: dict, tolerance: float) -> int:
     return 0
 
 
+def cross_backend_speedup(rates: dict) -> dict:
+    """vectorized-over-fastpath ratio per profile per mode, when both ran."""
+    fast = rates.get("fastpath", {})
+    vec = rates.get("vectorized", {})
+    speedup: dict = {}
+    for name, modes in vec.items():
+        base_modes = fast.get(name, {})
+        ratios = {
+            mode_name: round(rate / base_modes[mode_name], 2)
+            for mode_name, rate in modes.items()
+            if base_modes.get(mode_name)
+        }
+        if ratios:
+            speedup[name] = ratios
+    return speedup
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profiles", nargs="+", default=list(DEFAULT_PROFILES))
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=available_backends(),
+        default=None,
+        help="execution backend to measure; repeatable (default: fastpath)",
+    )
     parser.add_argument("--budget", type=int, default=1_000_000)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--update", action="store_true")
@@ -112,7 +164,8 @@ def main() -> int:
     parser.add_argument("--label", default="")
     args = parser.parse_args()
 
-    rates = measure(args.profiles, args.budget, args.repeats)
+    backends = args.backend or list(DEFAULT_BACKENDS)
+    rates = measure(args.profiles, args.budget, args.repeats, backends)
     record = load_record(args.output)
 
     exit_code = 0
@@ -121,15 +174,19 @@ def main() -> int:
 
     if args.update:
         previous = record.get("current")
-        speedup = {}
+        speedup: dict = {}
         if previous:
             record.setdefault("history", []).append(previous)
-            for name, modes in rates.items():
-                base_modes = previous.get("rates", {}).get(name, {})
-                speedup[name] = {
-                    mode_name: round(rate / base_modes[mode_name], 2)
-                    for mode_name, rate in modes.items()
-                    if base_modes.get(mode_name)
+            prev_rates = normalize_rates(previous.get("rates", {}))
+            for backend, profiles in rates.items():
+                base_profiles = prev_rates.get(backend, {})
+                speedup[backend] = {
+                    name: {
+                        mode_name: round(rate / base_modes[mode_name], 2)
+                        for mode_name, rate in modes.items()
+                        if (base_modes := base_profiles.get(name, {})).get(mode_name)
+                    }
+                    for name, modes in profiles.items()
                 }
         record["current"] = {
             "label": args.label or "bench_throughput run",
@@ -139,6 +196,9 @@ def main() -> int:
         }
         if speedup:
             record["current"]["speedup_vs_previous"] = speedup
+        cross = cross_backend_speedup(rates)
+        if cross:
+            record["current"]["vectorized_speedup_vs_fastpath"] = cross
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
 

@@ -14,6 +14,14 @@ The simulator's reproducibility rests on two conventions:
    subclasses) must be ``frozen=True`` — a mutable spec could change
    between hashing and execution and poison the result cache (rule D002).
 
+3. Simulation run loops live in :mod:`repro.sim.backends`, where the
+   equivalence suite proves them bit-identical to the reference loop.  A
+   function elsewhere that both walks ``workload.trace(...)`` *and*
+   charges cycles through ``execute_block`` is a forked run loop that the
+   suite cannot see, so this lint rejects it (rule D003).  Read-only
+   trace scans (statistics, simpoints, trace recording) don't charge
+   cycles and stay legal.
+
 Usage:
     python scripts/lint_determinism.py [paths ...]
 
@@ -60,6 +68,9 @@ _RANDOM_DRAWS = frozenset(
 
 #: Spec classes whose instances feed the engine's content-hash cache.
 _FROZEN_REQUIRED = frozenset({"SimJob", "ProbeSpec"})
+
+#: The one package allowed to implement simulation run loops (rule D003).
+_BACKENDS_PACKAGE = "repro/sim/backends"
 
 
 class Violation(Tuple[str, int, str, str]):
@@ -143,6 +154,47 @@ class _Linter(ast.NodeVisitor):
                     f"'{name}()' uses numpy's global RNG; use "
                     "numpy.random.default_rng(seed)",
                 )
+        self.generic_visit(node)
+
+    # -- D003: run loops belong in repro.sim.backends -----------------
+
+    def _check_run_loop(self, node) -> None:
+        if _BACKENDS_PACKAGE in self.path.replace("\\", "/"):
+            return
+        walks_trace = False
+        charges_cycles = False
+        for child in ast.walk(node):
+            if child is not node and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue  # nested defs are visited on their own
+            if (
+                isinstance(child, ast.For)
+                and isinstance(child.iter, ast.Call)
+                and isinstance(child.iter.func, ast.Attribute)
+                and child.iter.func.attr == "trace"
+            ):
+                walks_trace = True
+            elif isinstance(child, ast.Call):
+                name = _dotted(child.func)
+                if name.rpartition(".")[2] == "execute_block":
+                    charges_cycles = True
+        if walks_trace and charges_cycles:
+            self._flag(
+                node,
+                "D003",
+                f"function '{node.name}' walks workload.trace() and charges "
+                "cycles via execute_block — a simulation run loop; run "
+                "loops must live in repro.sim.backends where the "
+                "equivalence suite verifies them",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_run_loop(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_run_loop(node)
         self.generic_visit(node)
 
     # -- D002: engine spec dataclasses must be frozen -----------------

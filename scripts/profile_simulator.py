@@ -7,22 +7,23 @@ to keep the full 29-app benchmark suite within its time budget.
 
 Usage:
     python scripts/profile_simulator.py [benchmark] [instructions]
-        [--cprofile] [--json] [--no-fastpath]
+        [--cprofile] [--json] [--backend NAME] [--no-fastpath]
 
 ``--json`` emits ``{"mode": instr_per_second, ...}`` on stdout (for
-scripts/bench_throughput.py and the CI perf-smoke job); ``--no-fastpath``
-measures the reference execution loop instead of the steady-phase fast
-path.
+scripts/bench_throughput.py and the CI perf-smoke job); ``--backend``
+selects the execution backend (reference / fastpath / vectorized;
+``--no-fastpath`` is the deprecated spelling of ``--backend reference``).
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
 import json
 import pstats
-import sys
 import time
 
+from repro.sim.backends import available_backends
 from repro.sim.simulator import GatingMode, HybridSimulator
 from repro.uarch.config import design_for_suite
 from repro.workloads.profiles import build_workload
@@ -30,12 +31,12 @@ from repro.workloads.suites import get_profile
 
 
 def throughput(
-    benchmark: str, budget: int, mode: GatingMode, fastpath: bool = True
+    benchmark: str, budget: int, mode: GatingMode, backend: str = "fastpath"
 ) -> float:
     profile = get_profile(benchmark)
     design = design_for_suite(profile.suite)
     workload = build_workload(profile)
-    simulator = HybridSimulator(design, workload, mode, fastpath=fastpath)
+    simulator = HybridSimulator(design, workload, mode, backend=backend)
     start = time.perf_counter()
     result = simulator.run(budget)
     elapsed = time.perf_counter() - start
@@ -43,32 +44,50 @@ def throughput(
 
 
 def main() -> None:
-    args = [a for a in sys.argv[1:] if not a.startswith("--")]
-    benchmark = args[0] if args else "gobmk"
-    budget = int(args[1]) if len(args) > 1 else 1_000_000
-    fastpath = "--no-fastpath" not in sys.argv
-    as_json = "--json" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="gobmk")
+    parser.add_argument("instructions", nargs="?", type=int, default=1_000_000)
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend to measure (default: fastpath)",
+    )
+    parser.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="deprecated: same as --backend reference",
+    )
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--cprofile", action="store_true")
+    args = parser.parse_args()
+
+    if args.backend and args.no_fastpath:
+        parser.error("--no-fastpath conflicts with --backend")
+    backend = args.backend or ("reference" if args.no_fastpath else "fastpath")
 
     rates = {}
     for mode in (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL):
-        rates[mode.value] = throughput(benchmark, budget, mode, fastpath)
+        rates[mode.value] = throughput(
+            args.benchmark, args.instructions, mode, backend
+        )
 
-    if as_json:
+    if args.json:
         print(json.dumps(rates))
     else:
         for mode_name, rate in rates.items():
             print(f"{mode_name:10s} {rate / 1e6:6.2f} M guest-instructions/s")
 
-    if "--cprofile" in sys.argv:
-        profile = get_profile(benchmark)
+    if args.cprofile:
+        profile = get_profile(args.benchmark)
         design = design_for_suite(profile.suite)
         workload = build_workload(profile)
         simulator = HybridSimulator(
-            design, workload, GatingMode.POWERCHOP, fastpath=fastpath
+            design, workload, GatingMode.POWERCHOP, backend=backend
         )
         profiler = cProfile.Profile()
         profiler.enable()
-        simulator.run(budget)
+        simulator.run(args.instructions)
         profiler.disable()
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
 

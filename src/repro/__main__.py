@@ -27,6 +27,7 @@ import json
 import sys
 
 from repro.analysis.report import format_table
+from repro.sim.backends import available_backends
 from repro.sim.engine import SimJob, SweepRunner, default_workers
 from repro.sim.results import (
     energy_reduction,
@@ -59,6 +60,13 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="emit machine-readable JSON instead of the human summary",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend (default: fastpath); all backends are "
+        "bit-identical, this only changes simulation speed",
+    )
 
 
 def _resolve_design(args):
@@ -81,7 +89,8 @@ def cmd_run(args) -> int:
     profile, design = _resolve_design(args)
     mode = GatingMode(args.mode)
     result = run_simulation(
-        design, profile, mode, max_instructions=args.instructions
+        design, profile, mode, max_instructions=args.instructions,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -107,7 +116,8 @@ def cmd_compare(args) -> int:
     results = {}
     for mode in (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL):
         results[mode] = run_simulation(
-            design, profile, mode, max_instructions=args.instructions
+            design, profile, mode, max_instructions=args.instructions,
+            backend=args.backend,
         )
     full = results[GatingMode.FULL]
     if args.json:
@@ -169,6 +179,7 @@ def cmd_sweep(args) -> int:
                     design=job_design,
                     mode=mode,
                     max_instructions=args.instructions,
+                    backend=args.backend,
                 )
             )
     records = SweepRunner(workers=args.jobs).run(jobs)
@@ -373,6 +384,13 @@ def main(argv=None) -> int:
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of the summary table",
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend for every job (default: fastpath); "
+        "results and cache keys are backend-independent",
     )
     sweep_parser.set_defaults(func=cmd_sweep)
 

@@ -92,10 +92,35 @@ class CodeRegion:
         self.region_id = region_id
         self.blocks: List[BasicBlock] = list(blocks)
         self.entry = entry
+        self._attr_arrays = None
 
     @property
     def n_blocks(self) -> int:
         return len(self.blocks)
+
+    def attr_arrays(self):
+        """Per-block attribute columns as int64 numpy arrays (memoized).
+
+        Returns ``(n_instr, n_mem, n_loads, n_vec)`` indexed by block
+        position — the gather tables the vectorized execution backend uses
+        to evaluate a recorded burst of block indices in one shot.  Regions
+        are immutable after construction, so the arrays are built once.
+        numpy is imported lazily: the ISA layer itself has no hard
+        dependency on it.
+        """
+        arrays = self._attr_arrays
+        if arrays is None:
+            import numpy as np
+
+            blocks = self.blocks
+            arrays = (
+                np.array([b.n_instr for b in blocks], dtype=np.int64),
+                np.array([b.n_mem for b in blocks], dtype=np.int64),
+                np.array([b.n_loads for b in blocks], dtype=np.int64),
+                np.array([b.n_vec for b in blocks], dtype=np.int64),
+            )
+            self._attr_arrays = arrays
+        return arrays
 
     @property
     def total_static_instructions(self) -> int:

@@ -1,0 +1,1066 @@
+"""Vectorized batch-replay backend: record a burst once, evaluate it as arrays.
+
+Where the ``fastpath`` backend fuses the reference loop but still walks one
+access at a time, this backend splits each steady stretch of execution (a
+*burst*) into two passes:
+
+- **Pass A (scalar, lean).**  Walk the schedule exactly as the reference
+  loop would: resolve each branch through its model (RNG draws and global
+  history are inherently sequential), steer the block through the BT
+  runtime's continuation walk, apply the tournament-predictor update
+  (table state is serially dependent), and *record* the block index.  No
+  cycle math, no memory accesses, no counter updates — those are deferred.
+  The walk runs off precomputed per-region columns
+  (:func:`_walk_table`) with the common branch models inlined, so each
+  block costs a handful of list indexings.
+- **Pass B (numpy).**  Gather per-block attribute columns
+  (:meth:`CodeRegion.attr_arrays`) for the recorded indices and evaluate
+  the whole burst at once: issue cycles as one elementwise product, the
+  deterministic address stream as ``(c0 + arange(N)*stride) % limit``, and
+  the cache walk via the **visit kernel** below.  Monotonic counters land
+  in one :meth:`PerfCounters.add_batch` /
+  :meth:`SetAssocCache.charge_bulk` call per burst.
+
+Visit kernel
+    A *visit* is a maximal run of consecutive accesses to the same cache
+    line (deterministic strided streams revisit each line
+    ``line_size/stride`` times in a row).  Only the visit *head* has an
+    uncertain hit/miss outcome; every tail access touches the line the
+    head just made MRU, so it is an unconditional L1 hit whose only
+    effect is a dirty-bit OR.  numpy finds the visit boundaries and
+    per-visit write-ORs; a scalar loop then performs one *real* dict
+    probe per visit, and on a miss walks an inlined copy of
+    :meth:`CacheHierarchy.access_below_l1` (prefetcher scan, MLC/LLC
+    probes) against the live structures.  Because the probes are real,
+    the kernel is exact by construction — L1/MLC/LLC LRU order,
+    writebacks, and prefetcher state evolve exactly as in the reference
+    loop, at ~``line_size/stride`` fewer Python iterations.
+
+Bit-exact cycle accounting
+    Per-block cycles are assembled in reference order — base issue
+    cycles, then memory stalls in access order, then the branch penalty —
+    and folded into the running total with ``np.cumsum``, which performs
+    the same left-to-right float64 additions as the reference loop's
+    ``cycles += bc`` (verified bit-identical; numpy's pairwise summation
+    applies to ``np.sum``, not ``cumsum``).  Translation charges are
+    spliced in *before* their block's cycles, exactly where the reference
+    loop adds them.
+
+Burst boundaries
+    A burst ends when (a) the phase segment ends, (b) the instruction
+    budget is reached, or (c) the *next* translation entry would trigger a
+    PowerChop window end.  For (c) the burst is flushed first — so window
+    stats read fully-updated counters and an exact cycle count — then the
+    window end runs scalar (policy may re-gate units), and the triggering
+    block executes scalar under the *post-policy* configuration.
+
+Fallbacks
+    Probes delegate to the ``reference`` backend; full tracing and TIMEOUT
+    mode (per-block gating decisions) delegate to ``fastpath``; segments
+    with ``random_frac > 0`` or a random pattern run a scalar per-access
+    loop in this module (their RNG draws are inherently per-access), with
+    live counters so window ends need no special handling.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.bt.runtime import ExecMode
+from repro.isa.branches import BiasedBranch, LoopBranch, PatternBranch, RandomBranch
+from repro.sim.backends.fastpath import run_fast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import HybridSimulator
+
+#: Sentinel for the allocation-free L1 dict probe (mirrors cache.py).
+_MISSING = object()
+
+_INTERPRETED = ExecMode.INTERPRETED
+
+#: Walk-table resolver kinds (see :func:`_walk_table`).
+_K_NONE = 0  # no branch
+_K_BIASED = 1  # BiasedBranch / RandomBranch: rng.random() < p_taken
+_K_LOOP = 2  # LoopBranch: counter modulo period
+_K_PATTERN = 3  # PatternBranch: table walk
+_K_GENERIC = 4  # anything else: model.next_outcome(history)
+
+
+def _walk_table(region):
+    """Per-region pass-A columns (memoized on the region object).
+
+    Returns parallel lists indexed by block position: pc, the branch
+    object (or None), the branch pc, the resolver kind, the resolver
+    operand (bound RNG method, model object, or None), the bias operand,
+    both successor indices, and the instruction count.  The inlined kinds
+    replicate each model's ``next_outcome`` byte-for-byte — including RNG
+    draw order — which the equivalence suite verifies.
+    """
+    try:
+        return region._pass_a_columns
+    except AttributeError:
+        pass
+    pcs, branches, bpcs, kinds, ra, rb = [], [], [], [], [], []
+    tsucc, fsucc, ni = [], [], []
+    for block in region.blocks:
+        pcs.append(block.pc)
+        tsucc.append(block.taken_succ)
+        fsucc.append(block.fall_succ)
+        ni.append(block.n_instr)
+        branch = block.branch
+        branches.append(branch)
+        if branch is None:
+            bpcs.append(0)
+            kinds.append(_K_NONE)
+            ra.append(None)
+            rb.append(0.0)
+            continue
+        bpcs.append(branch.pc)
+        model = branch.model
+        kind = _K_GENERIC
+        # Exact-type checks: a subclass could override next_outcome, so
+        # only the leaf classes we replicate verbatim are inlined.
+        if type(model) is BiasedBranch or type(model) is RandomBranch:
+            kind = _K_BIASED
+            ra.append(model._rng.random)
+            rb.append(model.p_taken)
+        elif type(model) is LoopBranch:
+            kind = _K_LOOP
+            ra.append(model)
+            rb.append(0.0)
+        elif type(model) is PatternBranch:
+            kind = _K_PATTERN
+            ra.append(model)
+            rb.append(0.0)
+        else:
+            ra.append(model)
+            rb.append(0.0)
+        kinds.append(kind)
+    table = (pcs, branches, bpcs, kinds, ra, rb, tsucc, fsucc, ni)
+    region._pass_a_columns = table
+    return table
+
+
+class VectorizedBackend:
+    """Backend wrapper around :func:`run_vectorized` (see module docstring)."""
+
+    name = "vectorized"
+    needs_replay_state = True
+
+    def run(
+        self,
+        simulator: "HybridSimulator",
+        max_instructions: int,
+        probes: Sequence = (),
+    ) -> float:
+        if probes:
+            # Probe callbacks need the per-block BlockExec view; only the
+            # reference loop provides it.
+            from repro.sim.backends import get_backend
+
+            return get_backend("reference").run(simulator, max_instructions, probes)
+        if simulator.tracer.active or simulator.timeout_controller is not None:
+            # Full event tracing wants per-block timestamps, and TIMEOUT
+            # mode gates the VPU on per-block idle decisions — both are
+            # inherently per-access; the fused scalar loop handles them.
+            return run_fast(simulator, max_instructions)
+        return run_vectorized(simulator, max_instructions)
+
+
+def run_vectorized(simulator: "HybridSimulator", max_instructions: int) -> float:
+    """Run the two-pass burst loop; returns total cycles.
+
+    Drop-in replacement for the probe-free body of
+    :meth:`HybridSimulator.run` — on return every component counter, the
+    BT walk state, and the workload's address-stream cursors hold exactly
+    the values the reference loop would have left.
+    """
+    workload = simulator.workload
+    core = simulator.core
+    bt = simulator.bt
+    controller = simulator.controller
+    counters = core.counters
+    design = core.design
+    hier = core.hierarchy
+    l1 = hier.l1
+    l1_sets = l1._sets
+    line_shift = l1._line_shift
+    set_mask = l1._set_mask
+    l1_ways = l1.active_ways  # the L1 is never way-gated at runtime
+    level_counts = hier.level_counts
+    below = hier.access_below_l1
+    prefetcher = hier.prefetcher
+    mlc = hier.mlc
+    llc = hier.llc
+    mlc_latency = hier.mlc_latency
+    llc_latency = hier.llc_latency
+    memory_latency = hier.memory_latency
+    prefetched_latency = hier.prefetched_latency
+    stall_factor = core._stall_factor
+    # Stall contributions are ``stall * stall_factor`` with stall drawn from
+    # four constants; precomputing the products is float-identical.
+    mlc_cost = mlc_latency * stall_factor
+    llc_cost = llc_latency * stall_factor
+    memory_cost = memory_latency * stall_factor
+    prefetched_cost = prefetched_latency * stall_factor
+    mlc_sets = mlc._sets
+    mlc_shift = mlc._line_shift
+    mlc_mask = mlc._set_mask
+    if llc is not None:
+        llc_sets = llc._sets
+        llc_shift = llc._line_shift
+        llc_mask = llc._set_mask
+    if prefetcher is not None:
+        pf_streams = prefetcher._streams
+        pf_stamps = prefetcher._stamps
+        pf_window = prefetcher.window
+    vpu = core.vpu
+    vpu_emul_extra = vpu.emulation_factor - 1
+    bpu = core.bpu
+    bpu_predict = core._bpu_predict_and_update
+    issue_cpi = core._issue_cpi
+    interp_cpi = design.interpreter_cpi
+    mispredict_penalty = design.mispredict_penalty
+    btb_redirect_penalty = design.btb_redirect_penalty
+
+    fstate = simulator.fastpath_state
+
+    history = workload.history
+    history_mask = history._mask
+    phases = workload.phases
+    phase_order = workload._phase_order
+    schedule = workload.schedule
+    wseed = workload.seed
+
+    htb = controller.htb if controller is not None else None
+    wtrigger = htb.window_size - 1 if htb is not None else -1
+    on_entry = controller.on_translation_entry if controller is not None else None
+    bt_on_block = bt.on_block
+    region_cache = bt.region_cache
+    rc_get = region_cache._by_head.get
+    rc_stats = region_cache.stats
+
+    # Predictor structures for the inlined tournament update (the table
+    # objects live for the whole run; gating only toggles flags, so the
+    # hoists stay valid — only ``use_large`` must be re-read after any
+    # policy action).
+    bp_local = bpu.large.local
+    bp_lhist = bp_local._histories
+    bp_lctrs = bp_local._counters
+    bp_lhist_mask = bp_local._hist_mask
+    bp_lpat_mask = bp_local._pat_mask
+    bp_lbits_mask = bp_local._history_bits_mask
+    bp_gshare = bpu.large.global_pred
+    bp_gctrs = bp_gshare._counters
+    bp_gmask = bp_gshare._mask
+    bp_ghr_mask = bp_gshare._ghr_mask
+    bp_chooser = bpu.large._chooser
+    bp_chooser_mask = bpu.large._chooser_mask
+    bp_small = bpu.small
+    bp_shist = bp_small._histories
+    bp_sctrs = bp_small._counters
+    bp_shist_mask = bp_small._hist_mask
+    bp_spat_mask = bp_small._pat_mask
+    bp_sbits_mask = bp_small._history_bits_mask
+    bp_btb = bpu.large_btb
+    bp_btb_entries = bp_btb._entries
+    bp_btb_cap = bp_btb.n_entries
+
+    cycles = 0.0
+    produced = 0
+
+    # Hoisted BT walk state (synced back around every bt.on_block call).
+    cur_trans = bt._current
+    cur_pcs: tuple = ()
+    cur_pos = 0
+    cur_len = 0
+    if cur_trans is not None:  # pragma: no cover - fresh simulators start cold
+        cur_pcs = cur_trans.block_pcs
+        cur_len = len(cur_pcs)
+        cur_pos = bt._pos
+
+    while True:
+        for phase_name, n_blocks in schedule:
+            phase = phases[phase_name]
+            # Seed expression mirrors SyntheticWorkload.trace exactly
+            # (& binds tighter than ^).
+            stream = phase.address_stream(
+                phase_order[phase_name],
+                wseed ^ zlib.crc32(phase_name.encode()) & 0xFFFF,
+            )
+            behavior = stream.behavior
+            sbase = stream.base
+            cursor = stream._cursor
+            stride = behavior.stride
+            random_frac = behavior.random_frac
+            pattern = behavior.pattern
+            ws_bytes = stream._ws_bytes
+            limit = ws_bytes if pattern == "loop" else stream._stream_limit
+            use_rng = random_frac > 0.0
+            is_random = pattern == "random"
+
+            fstate.phase_resets += 1
+
+            region = phase.region
+            region_blocks = region.blocks
+
+            if use_rng or is_random:
+                # ---------------- scalar per-access fallback ----------------
+                # RNG draws are per-access, so the burst record/replay
+                # split buys nothing; run a direct (unbatched) version of
+                # the fused loop.  Counters stay live, so window ends need
+                # no pre-flush and arrive with exact cycle counts.
+                rng_random = stream._random
+                rng_getrandbits = stream._rng.getrandbits
+                ws_k = ws_bytes.bit_length()
+                last_line = -1
+                last_set: dict = {}
+                last_dirty = False
+                use_large = bpu.large_on and not bpu.force_small
+                idx = region.entry
+                for _ in range(n_blocks):
+                    block = region_blocks[idx]
+                    pc = block.pc
+                    branch = block.branch
+                    if branch is None:
+                        succ = block.fall_succ
+                        taken = False
+                    else:
+                        taken = branch.model.next_outcome(history)
+                        history.bits = ((history.bits << 1) | taken) & history_mask
+                        branch.executions += 1
+                        succ = block.taken_succ if taken else block.fall_succ
+
+                    # ---- BT steering (inlined continuation walk) ----
+                    if (
+                        cur_trans is not None
+                        and cur_pos < cur_len
+                        and cur_pcs[cur_pos] == pc
+                    ):
+                        cur_pos += 1
+                        bt.translated_blocks += 1
+                        interpreting = False
+                    else:
+                        if cur_trans is not None:
+                            bt._current = None
+                        entered = rc_get(pc)
+                        if entered is not None:
+                            rc_stats.lookups += 1
+                            rc_stats.hits += 1
+                            cur_trans = entered
+                            cur_pcs = entered.block_pcs
+                            cur_len = len(cur_pcs)
+                            cur_pos = 1
+                            bt.translated_blocks += 1
+                            interpreting = False
+                        else:
+                            exec_mode, bt_cycles, entered = bt_on_block(block)
+                            if bt_cycles:
+                                cycles += bt_cycles
+                            cur_trans = bt._current
+                            if cur_trans is not None:
+                                cur_pcs = cur_trans.block_pcs
+                                cur_len = len(cur_pcs)
+                                cur_pos = bt._pos
+                            interpreting = exec_mode is _INTERPRETED
+                        if entered is not None and on_entry is not None:
+                            stall = on_entry(entered, cycles)
+                            if stall:
+                                cycles += stall
+                            # Window-end policy may have (un)gated the BPU.
+                            use_large = bpu.large_on and not bpu.force_small
+
+                    # ---- issue ----
+                    n_vec = block.n_vec
+                    n_instr = block.n_instr
+                    if n_vec:
+                        extra_ops = vpu.execute(n_vec)
+                        micro_ops = n_instr + extra_ops
+                        counters.simd_instructions += n_vec
+                        if interpreting:
+                            bc = n_instr * interp_cpi + extra_ops * issue_cpi
+                        else:
+                            bc = micro_ops * issue_cpi
+                    else:
+                        micro_ops = n_instr
+                        bc = (
+                            n_instr * interp_cpi
+                            if interpreting
+                            else n_instr * issue_cpi
+                        )
+
+                    # ---- memory ----
+                    n_mem = block.n_mem
+                    if n_mem:
+                        n_loads = block.n_loads
+                        for i in range(n_mem):
+                            # Address generation mirrors AddressStream
+                            # .next()/.take() — including the RNG draw
+                            # order on mixed streams.
+                            if use_rng:
+                                if rng_random() < random_frac or is_random:
+                                    r = rng_getrandbits(ws_k)
+                                    while r >= ws_bytes:
+                                        r = rng_getrandbits(ws_k)
+                                    addr = sbase + r
+                                else:
+                                    addr = sbase + cursor
+                                    cursor += stride
+                                    if cursor >= limit:
+                                        cursor -= limit
+                            else:
+                                r = rng_getrandbits(ws_k)
+                                while r >= ws_bytes:
+                                    r = rng_getrandbits(ws_k)
+                                addr = sbase + r
+
+                            is_write = i >= n_loads
+                            line = addr >> line_shift
+                            if line == last_line:
+                                # Same-line replay: MRU hit, no reorder.
+                                l1.hits += 1
+                                level_counts[0] += 1
+                                if is_write and not last_dirty:
+                                    last_set[line] = True
+                                    last_dirty = True
+                                continue
+                            cache_set = l1_sets[line & set_mask]
+                            dirty = cache_set.pop(line, _MISSING)
+                            if dirty is not _MISSING:
+                                l1.hits += 1
+                                level_counts[0] += 1
+                                if is_write:
+                                    dirty = True
+                                cache_set[line] = dirty
+                                last_dirty = dirty
+                            else:
+                                l1.misses += 1
+                                cache_set[line] = is_write
+                                while len(cache_set) > l1_ways:
+                                    if cache_set.pop(next(iter(cache_set))):
+                                        l1.writebacks += 1
+                                stall, _level = below(addr, is_write)
+                                if stall:
+                                    bc += stall * stall_factor
+                                last_dirty = is_write
+                            last_set = cache_set
+                            last_line = line
+                        counters.memory_ops += n_mem
+
+                    # ---- branch resolution through the active predictor ----
+                    if branch is not None:
+                        counters.branches += 1
+                        if use_large:
+                            # Inlined BranchUnit.predict_and_update hot case
+                            # (identical table reads/writes in identical
+                            # order to the burst path's copy below).
+                            bpc = branch.pc
+                            bpu.lookups += 1
+                            key = bpc >> 2
+                            hidx = key & bp_lhist_mask
+                            lhistory = bp_lhist[hidx]
+                            cidx = lhistory & bp_lpat_mask
+                            ctr = bp_lctrs[cidx]
+                            if taken:
+                                if ctr < 3:
+                                    bp_lctrs[cidx] = ctr + 1
+                            elif ctr > 0:
+                                bp_lctrs[cidx] = ctr - 1
+                            bp_lhist[hidx] = ((lhistory << 1) | taken) & bp_lbits_mask
+                            local_pred = ctr >= 2
+
+                            ghr = bp_gshare.ghr
+                            gidx = (key ^ ghr) & bp_gmask
+                            gctr = bp_gctrs[gidx]
+                            if taken:
+                                if gctr < 3:
+                                    bp_gctrs[gidx] = gctr + 1
+                            elif gctr > 0:
+                                bp_gctrs[gidx] = gctr - 1
+                            bp_gshare.ghr = ((ghr << 1) | taken) & bp_ghr_mask
+                            global_pred = gctr >= 2
+
+                            if local_pred == global_pred:
+                                prediction = local_pred
+                            else:
+                                chidx = key & bp_chooser_mask
+                                cctr = bp_chooser[chidx]
+                                if global_pred == taken:
+                                    if cctr < 3:
+                                        bp_chooser[chidx] = cctr + 1
+                                elif cctr > 0:
+                                    bp_chooser[chidx] = cctr - 1
+                                prediction = global_pred if cctr >= 2 else local_pred
+
+                            shidx = key & bp_shist_mask
+                            shistory = bp_shist[shidx]
+                            scidx = shistory & bp_spat_mask
+                            sctr = bp_sctrs[scidx]
+                            if taken:
+                                if sctr < 3:
+                                    bp_sctrs[scidx] = sctr + 1
+                            elif sctr > 0:
+                                bp_sctrs[scidx] = sctr - 1
+                            bp_shist[shidx] = ((shistory << 1) | taken) & bp_sbits_mask
+
+                            redirect = False
+                            if taken:
+                                if bpc in bp_btb_entries:
+                                    bp_btb_entries.move_to_end(bpc)
+                                    bp_btb_entries[bpc] = 0
+                                    bp_btb.hits += 1
+                                else:
+                                    bp_btb.misses += 1
+                                    if len(bp_btb_entries) >= bp_btb_cap:
+                                        bp_btb_entries.popitem(last=False)
+                                    bp_btb_entries[bpc] = 0
+                                    redirect = True
+                                    bpu.btb_misses += 1
+                            if prediction != taken:
+                                bpu.mispredicts += 1
+                                counters.mispredicts += 1
+                                bc += mispredict_penalty
+                            elif redirect:
+                                counters.btb_redirects += 1
+                                bc += btb_redirect_penalty
+                        else:
+                            mispredicted, redirect = bpu_predict(branch.pc, taken)
+                            if mispredicted:
+                                counters.mispredicts += 1
+                                bc += mispredict_penalty
+                            elif redirect:
+                                counters.btb_redirects += 1
+                                bc += btb_redirect_penalty
+
+                    counters.instructions += n_instr
+                    counters.micro_ops += micro_ops
+                    cycles += bc
+                    produced += n_instr
+                    fstate.blocks_fallback += 1
+                    if produced >= max_instructions:
+                        stream._cursor = cursor
+                        bt._current = cur_trans
+                        if cur_trans is not None:
+                            bt._pos = cur_pos
+                        return cycles
+                    idx = succ
+
+                stream._cursor = cursor
+                continue
+
+            # ---------------- vectorized burst path ----------------
+            attr_ni, attr_nm, attr_nl, attr_nv = region.attr_arrays()
+            (
+                col_pc,
+                col_branch,
+                col_bpc,
+                col_kind,
+                col_ra,
+                col_rb,
+                col_tsucc,
+                col_fsucc,
+                col_ni,
+            ) = _walk_table(region)
+
+            # Burst record.  ``rec`` holds block indices; side lists carry
+            # the rare irregularities (interpreted blocks, translation
+            # charges, branch penalties) by position in ``rec``.
+            rec: list = []
+            rec_append = rec.append
+            interp_pos: list = []
+            trans_list: list = []
+            pen_pos: list = []
+            pen_val: list = []
+            b_branches = b_misp = b_redir = b_translated = 0
+            c0 = cursor
+            vpu_gated = vpu.gated_on  # constant within a burst
+
+            def _flush() -> None:
+                """Pass B: evaluate and apply the recorded burst."""
+                nonlocal cycles, cursor, c0
+                nonlocal rec, interp_pos, trans_list, pen_pos, pen_val
+                nonlocal b_branches, b_misp, b_redir, b_translated
+                n = len(rec)
+                n_instr_sum = micro_sum = nv_sum = 0
+                N = 0
+                if n:
+                    bidx = np.array(rec, dtype=np.int64)
+                    # Batched branch.executions: one increment per dynamic
+                    # execution of a branchy block in this burst.
+                    for bi, cnt in enumerate(
+                        np.bincount(bidx, minlength=len(col_branch)).tolist()
+                    ):
+                        if cnt:
+                            br = col_branch[bi]
+                            if br is not None:
+                                br.executions += cnt
+                    ni = attr_ni[bidx]
+                    nm = attr_nm[bidx]
+                    nv = attr_nv[bidx]
+                    n_instr_sum = int(ni.sum())
+                    nv_sum = int(nv.sum())
+                    if nv_sum:
+                        vpu.execute_bulk(nv_sum)
+                        micro = ni if vpu_gated else ni + nv * vpu_emul_extra
+                    else:
+                        micro = ni
+                    micro_sum = int(micro.sum())
+                    # Base issue cycles (reference order: base first).
+                    bc = (micro * issue_cpi).tolist()
+                    for p in interp_pos:
+                        b = region_blocks[rec[p]]
+                        bnv = b.n_vec
+                        if bnv and not vpu_gated:
+                            bc[p] = (
+                                b.n_instr * interp_cpi
+                                + bnv * vpu_emul_extra * issue_cpi
+                            )
+                        else:
+                            bc[p] = b.n_instr * interp_cpi
+
+                    # Memory: visit kernel (stalls add in access order).
+                    N = int(nm.sum())
+                    if N:
+                        starts = np.empty(n, dtype=np.int64)
+                        starts[0] = 0
+                        np.cumsum(nm[:-1], out=starts[1:])
+                        owner = np.repeat(np.arange(n, dtype=np.int64), nm)
+                        j = np.arange(N, dtype=np.int64)
+                        curs = (c0 + j * stride) % limit
+                        addr = sbase + curs
+                        lines = addr >> line_shift
+                        li = j - starts[owner]
+                        wr = li >= attr_nl[bidx][owner]
+                        heads = np.concatenate(
+                            (
+                                np.zeros(1, dtype=np.int64),
+                                np.flatnonzero(lines[1:] != lines[:-1]) + 1,
+                            )
+                        )
+                        w_any = np.logical_or.reduceat(wr, heads)
+                        vlens = np.diff(np.append(heads, N))
+                        hl = lines[heads].tolist()
+                        ha = addr[heads].tolist()
+                        hw = wr[heads].tolist()
+                        wa = w_any.tolist()
+                        vo = owner[heads].tolist()
+                        vl = vlens.tolist()
+                        hits = misses = wb = 0
+                        mlc_hits = mlc_misses = mlc_wb = 0
+                        llc_hits = llc_misses = llc_wb = 0
+                        lv_mlc = lv_llc = lv_mem = pf_covered = 0
+                        pf_hits = pf_misses = 0
+                        mlc_ways = mlc.active_ways
+                        if llc is not None:
+                            llc_ways = llc.active_ways
+                        if prefetcher is not None:
+                            pf_clock = prefetcher._clock
+                        for k in range(len(hl)):
+                            ln = hl[k]
+                            cache_set = l1_sets[ln & set_mask]
+                            dirty = cache_set.pop(ln, _MISSING)
+                            vn = vl[k]
+                            if dirty is not _MISSING:
+                                # Head hit: the whole visit hits; the dirty
+                                # bit ends as old | any-write-in-visit.
+                                hits += vn
+                                cache_set[ln] = dirty or wa[k]
+                                continue
+                            # Head miss: real fill + eviction, then an
+                            # inlined access_below_l1 descent; tails hit
+                            # the line the head made MRU.
+                            misses += 1
+                            hits += vn - 1
+                            cache_set[ln] = wa[k]
+                            while len(cache_set) > l1_ways:
+                                if cache_set.pop(next(iter(cache_set))):
+                                    wb += 1
+                            hwk = hw[k]
+                            # Prefetcher scan (addr >> line_shift == ln:
+                            # the hierarchy shares the L1's line shift).
+                            prefetched = False
+                            if prefetcher is not None:
+                                pf_clock += 1
+                                i = 0
+                                for head in pf_streams:
+                                    delta = ln - head
+                                    if 0 <= delta <= pf_window:
+                                        if delta:
+                                            pf_streams[i] = ln
+                                        pf_stamps[i] = pf_clock
+                                        pf_hits += 1
+                                        prefetched = True
+                                        break
+                                    i += 1
+                                else:
+                                    pf_misses += 1
+                                    lru = pf_stamps.index(min(pf_stamps))
+                                    pf_streams[lru] = ln
+                                    pf_stamps[lru] = pf_clock
+                            a = ha[k]
+                            mln = a >> mlc_shift
+                            mset = mlc_sets[mln & mlc_mask]
+                            mdirty = mset.pop(mln, _MISSING)
+                            if mdirty is not _MISSING:
+                                mlc_hits += 1
+                                lv_mlc += 1
+                                mset[mln] = mdirty or hwk
+                                cost = mlc_cost
+                            else:
+                                mlc_misses += 1
+                                mset[mln] = hwk
+                                while len(mset) > mlc_ways:
+                                    if mset.pop(next(iter(mset))):
+                                        mlc_wb += 1
+                                if llc is not None:
+                                    lln = a >> llc_shift
+                                    lset = llc_sets[lln & llc_mask]
+                                    ldirty = lset.pop(lln, _MISSING)
+                                    if ldirty is not _MISSING:
+                                        llc_hits += 1
+                                        lv_llc += 1
+                                        lset[lln] = ldirty or hwk
+                                        if prefetched:
+                                            pf_covered += 1
+                                            cost = prefetched_cost
+                                        else:
+                                            cost = llc_cost
+                                    else:
+                                        llc_misses += 1
+                                        lset[lln] = hwk
+                                        while len(lset) > llc_ways:
+                                            if lset.pop(next(iter(lset))):
+                                                llc_wb += 1
+                                        lv_mem += 1
+                                        if prefetched:
+                                            pf_covered += 1
+                                            cost = prefetched_cost
+                                        else:
+                                            cost = memory_cost
+                                else:
+                                    lv_mem += 1
+                                    if prefetched:
+                                        pf_covered += 1
+                                        cost = prefetched_cost
+                                    else:
+                                        cost = memory_cost
+                            if cost:
+                                bc[vo[k]] += cost
+                        l1.charge_bulk(hits, misses, wb)
+                        level_counts[0] += hits
+                        mlc.charge_bulk(mlc_hits, mlc_misses, mlc_wb)
+                        level_counts[1] += lv_mlc
+                        if llc is not None:
+                            llc.charge_bulk(llc_hits, llc_misses, llc_wb)
+                            level_counts[2] += lv_llc
+                        level_counts[3] += lv_mem
+                        hier.prefetch_covered += pf_covered
+                        if prefetcher is not None:
+                            prefetcher._clock = pf_clock
+                            prefetcher.hits += pf_hits
+                            prefetcher.misses += pf_misses
+                        cursor = (c0 + N * stride) % limit
+                    # Branch penalties land after the block's memory stalls,
+                    # as in the reference per-block assembly order.
+                    for p, v in zip(pen_pos, pen_val):
+                        bc[p] += v
+                    # Exact left-to-right cycle fold; translation charges
+                    # are spliced in before their block's own cycles.
+                    if trans_list:
+                        seq: list = []
+                        prev = 0
+                        for p, btc in trans_list:
+                            seq.extend(bc[prev:p])
+                            seq.append(btc)
+                            prev = p
+                        seq.extend(bc[prev:])
+                    else:
+                        seq = bc
+                    arr = np.array(seq, dtype=np.float64)
+                    arr[0] += cycles
+                    cycles = float(np.cumsum(arr)[-1])
+                    fstate.bursts_recorded += 1
+                    fstate.blocks_vectorized += n
+                counters.add_batch(
+                    instructions=n_instr_sum,
+                    micro_ops=micro_sum,
+                    simd_instructions=nv_sum,
+                    branches=b_branches,
+                    mispredicts=b_misp,
+                    btb_redirects=b_redir,
+                    memory_ops=N,
+                )
+                bt.translated_blocks += b_translated
+                rec = []
+                interp_pos = []
+                trans_list = []
+                pen_pos = []
+                pen_val = []
+                b_branches = b_misp = b_redir = b_translated = 0
+                c0 = cursor
+
+            def _exec_block_scalar(block, taken) -> None:
+                """Execute one (translated) block under the live config.
+
+                Used for the window-triggering block, which must run with
+                the *post-policy* gating state.
+                """
+                nonlocal cycles, cursor
+                n_vec = block.n_vec
+                n_instr = block.n_instr
+                if n_vec:
+                    extra_ops = vpu.execute(n_vec)
+                    micro_ops = n_instr + extra_ops
+                    counters.simd_instructions += n_vec
+                    bc = micro_ops * issue_cpi
+                else:
+                    micro_ops = n_instr
+                    bc = n_instr * issue_cpi
+                n_mem = block.n_mem
+                if n_mem:
+                    n_loads = block.n_loads
+                    for i in range(n_mem):
+                        a = sbase + cursor
+                        cursor += stride
+                        if cursor >= limit:
+                            cursor -= limit
+                        is_write = i >= n_loads
+                        line = a >> line_shift
+                        cache_set = l1_sets[line & set_mask]
+                        dirty = cache_set.pop(line, _MISSING)
+                        if dirty is not _MISSING:
+                            l1.hits += 1
+                            level_counts[0] += 1
+                            cache_set[line] = dirty or is_write
+                        else:
+                            l1.misses += 1
+                            cache_set[line] = is_write
+                            while len(cache_set) > l1_ways:
+                                if cache_set.pop(next(iter(cache_set))):
+                                    l1.writebacks += 1
+                            stall, _level = below(a, is_write)
+                            if stall:
+                                bc += stall * stall_factor
+                    counters.memory_ops += n_mem
+                branch = block.branch
+                if branch is not None:
+                    counters.branches += 1
+                    mispredicted, redirect = bpu_predict(branch.pc, taken)
+                    if mispredicted:
+                        counters.mispredicts += 1
+                        bc += mispredict_penalty
+                    elif redirect:
+                        counters.btb_redirects += 1
+                        bc += btb_redirect_penalty
+                counters.instructions += n_instr
+                counters.micro_ops += micro_ops
+                cycles += bc
+
+            # Constant within a burst: only window-end policy gates the
+            # BPU, and that ends the burst first.
+            use_large = bpu.large_on and not bpu.force_small
+
+            idx = region.entry
+            blocks_left = n_blocks
+            while blocks_left:
+                blocks_left -= 1
+                kind = col_kind[idx]
+                if kind == 0:
+                    succ = col_fsucc[idx]
+                    taken = False
+                else:
+                    if kind == 1:
+                        taken = col_ra[idx]() < col_rb[idx]
+                    elif kind == 2:
+                        model = col_ra[idx]
+                        count = model._count + 1
+                        if count >= model.period:
+                            model._count = 0
+                            taken = False
+                        else:
+                            model._count = count
+                            taken = True
+                    elif kind == 3:
+                        model = col_ra[idx]
+                        pat = model.pattern
+                        pos = model._pos
+                        taken = pat[pos]
+                        model._pos = (pos + 1) % len(pat)
+                    else:
+                        taken = col_ra[idx].next_outcome(history)
+                    history.bits = ((history.bits << 1) | taken) & history_mask
+                    # branch.executions is batch-applied in _flush (nothing
+                    # reads it mid-run; writes-only until results).
+                    succ = col_tsucc[idx] if taken else col_fsucc[idx]
+
+                # ---- BT steering (inlined continuation walk) ----
+                pc = col_pc[idx]
+                if (
+                    cur_trans is not None
+                    and cur_pos < cur_len
+                    and cur_pcs[cur_pos] == pc
+                ):
+                    cur_pos += 1
+                    b_translated += 1
+                else:
+                    if cur_trans is not None:
+                        bt._current = None
+                    entered = rc_get(pc)
+                    if entered is not None:
+                        rc_stats.lookups += 1
+                        rc_stats.hits += 1
+                        cur_trans = entered
+                        cur_pcs = entered.block_pcs
+                        cur_len = len(cur_pcs)
+                        cur_pos = 1
+                        b_translated += 1
+                        if on_entry is not None:
+                            if htb.window_executions >= wtrigger:
+                                # Window end: flush the burst so stats and
+                                # cycles are exact, run the boundary
+                                # scalar, execute this block post-policy,
+                                # then start a fresh burst.
+                                _flush()
+                                rec_append = rec.append
+                                stall = on_entry(entered, cycles)
+                                if stall:
+                                    cycles += stall
+                                block = region_blocks[idx]
+                                if kind:
+                                    # Not in the flushed record: the
+                                    # trigger block runs scalar.
+                                    col_branch[idx].executions += 1
+                                _exec_block_scalar(block, taken)
+                                c0 = cursor
+                                vpu_gated = vpu.gated_on
+                                use_large = bpu.large_on and not bpu.force_small
+                                produced += block.n_instr
+                                if produced >= max_instructions:
+                                    stream._cursor = cursor
+                                    bt._current = cur_trans
+                                    if cur_trans is not None:
+                                        bt._pos = cur_pos
+                                    return cycles
+                                idx = succ
+                                continue
+                            on_entry(entered, 0.0)
+                    else:
+                        block = region_blocks[idx]
+                        exec_mode, bt_cycles, entered = bt_on_block(block)
+                        if bt_cycles:
+                            trans_list.append((len(rec), bt_cycles))
+                        cur_trans = bt._current
+                        if cur_trans is not None:
+                            cur_pcs = cur_trans.block_pcs
+                            cur_len = len(cur_pcs)
+                            cur_pos = bt._pos
+                        if exec_mode is _INTERPRETED:
+                            interp_pos.append(len(rec))
+
+                rec_append(idx)
+
+                # ---- branch resolution through the active predictor ----
+                if kind:
+                    b_branches += 1
+                    bpc = col_bpc[idx]
+                    if use_large:
+                        # Inlined BranchUnit.predict_and_update hot case
+                        # (identical table reads/writes in identical order
+                        # to the fastpath backend's copy).
+                        bpu.lookups += 1
+                        key = bpc >> 2
+                        hidx = key & bp_lhist_mask
+                        lhistory = bp_lhist[hidx]
+                        cidx = lhistory & bp_lpat_mask
+                        ctr = bp_lctrs[cidx]
+                        if taken:
+                            if ctr < 3:
+                                bp_lctrs[cidx] = ctr + 1
+                        elif ctr > 0:
+                            bp_lctrs[cidx] = ctr - 1
+                        bp_lhist[hidx] = ((lhistory << 1) | taken) & bp_lbits_mask
+                        local_pred = ctr >= 2
+
+                        ghr = bp_gshare.ghr
+                        gidx = (key ^ ghr) & bp_gmask
+                        gctr = bp_gctrs[gidx]
+                        if taken:
+                            if gctr < 3:
+                                bp_gctrs[gidx] = gctr + 1
+                        elif gctr > 0:
+                            bp_gctrs[gidx] = gctr - 1
+                        bp_gshare.ghr = ((ghr << 1) | taken) & bp_ghr_mask
+                        global_pred = gctr >= 2
+
+                        if local_pred == global_pred:
+                            prediction = local_pred
+                        else:
+                            chidx = key & bp_chooser_mask
+                            cctr = bp_chooser[chidx]
+                            if global_pred == taken:
+                                if cctr < 3:
+                                    bp_chooser[chidx] = cctr + 1
+                            elif cctr > 0:
+                                bp_chooser[chidx] = cctr - 1
+                            prediction = global_pred if cctr >= 2 else local_pred
+
+                        shidx = key & bp_shist_mask
+                        shistory = bp_shist[shidx]
+                        scidx = shistory & bp_spat_mask
+                        sctr = bp_sctrs[scidx]
+                        if taken:
+                            if sctr < 3:
+                                bp_sctrs[scidx] = sctr + 1
+                        elif sctr > 0:
+                            bp_sctrs[scidx] = sctr - 1
+                        bp_shist[shidx] = ((shistory << 1) | taken) & bp_sbits_mask
+
+                        redirect = False
+                        if taken:
+                            if bpc in bp_btb_entries:
+                                bp_btb_entries.move_to_end(bpc)
+                                bp_btb_entries[bpc] = 0
+                                bp_btb.hits += 1
+                            else:
+                                bp_btb.misses += 1
+                                if len(bp_btb_entries) >= bp_btb_cap:
+                                    bp_btb_entries.popitem(last=False)
+                                bp_btb_entries[bpc] = 0
+                                redirect = True
+                                bpu.btb_misses += 1
+                        if prediction != taken:
+                            bpu.mispredicts += 1
+                            b_misp += 1
+                            pen_pos.append(len(rec) - 1)
+                            pen_val.append(mispredict_penalty)
+                        elif redirect:
+                            b_redir += 1
+                            pen_pos.append(len(rec) - 1)
+                            pen_val.append(btb_redirect_penalty)
+                    else:
+                        mispredicted, redirect = bpu_predict(bpc, taken)
+                        if mispredicted:
+                            b_misp += 1
+                            pen_pos.append(len(rec) - 1)
+                            pen_val.append(mispredict_penalty)
+                        elif redirect:
+                            b_redir += 1
+                            pen_pos.append(len(rec) - 1)
+                            pen_val.append(btb_redirect_penalty)
+
+                produced += col_ni[idx]
+                if produced >= max_instructions:
+                    _flush()
+                    stream._cursor = cursor
+                    bt._current = cur_trans
+                    if cur_trans is not None:
+                        bt._pos = cur_pos
+                    return cycles
+                idx = succ
+
+            _flush()
+            rec_append = rec.append
+            stream._cursor = cursor

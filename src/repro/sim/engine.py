@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import PowerChopConfig
 from repro.obs.tracer import OBS_LEVELS
+from repro.sim.backends import resolve_backend_name
 from repro.sim.probes import MetricsProbe, PhaseLogProbe, ProbeSpec, TraceProbe
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import GatingMode, HybridSimulator
@@ -42,6 +43,7 @@ from repro.workloads.profiles import BenchmarkProfile, build_workload
 from repro.workloads.suites import get_profile
 
 __all__ = [
+    "NON_KEY_FIELDS",
     "SimJob",
     "JobRecord",
     "ResultCache",
@@ -57,8 +59,25 @@ __all__ = [
 #: from older schema/code versions are treated as misses.  v2: POWERCHOP
 #: results gained the static-pre-pass counters in ``extra``.  v3: results
 #: gained the ``metrics`` registry snapshot (``repro.obs.metrics``,
-#: ``METRICS_SCHEMA_VERSION``) and jobs the ``obs_level`` field.
-CACHE_SCHEMA_VERSION = 3
+#: ``METRICS_SCHEMA_VERSION``) and jobs the ``obs_level`` field.  v4: jobs
+#: gained the ``backend`` field (excluded from the key — see
+#: ``NON_KEY_FIELDS``) and ``fastpath`` became a deprecated alias for it.
+CACHE_SCHEMA_VERSION = 4
+
+#: Job fields deliberately EXCLUDED from :meth:`SimJob.key`.  Two kinds of
+#: member:
+#:
+#: - ``backend`` / ``fastpath``: every execution backend is bit-identical
+#:   to the reference loop (enforced by tests/test_backends.py), so runs
+#:   that differ only in backend produce the same result and may share
+#:   cache entries;
+#: - ``configure``: an opaque callable that cannot be content-hashed; its
+#:   effect is represented in the key by the mandatory ``cache_tag``
+#:   instead (enforced in ``__post_init__``).
+#:
+#: Adding a field to SimJob?  It must appear either in ``key()`` or here —
+#: tests/test_backends.py cross-checks the split is exhaustive.
+NON_KEY_FIELDS = frozenset({"backend", "fastpath", "configure"})
 
 _MANAGED_UNITS = ("vpu", "bpu", "mlc")
 
@@ -103,11 +122,13 @@ class SimJob:
     collect_phase_log: bool = False
     probes: Tuple[ProbeSpec, ...] = ()
     obs_level: str = "off"
-    #: Steady-phase fast path toggle.  Deliberately EXCLUDED from key():
-    #: the fast path is bit-identical to the reference loop (enforced by
-    #: tests/test_fastpath.py), so both settings produce the same result
-    #: and may share cache entries.
-    fastpath: bool = True
+    #: Execution backend name ("reference" / "fastpath" / "vectorized";
+    #: None = the registry default).  In ``NON_KEY_FIELDS``: backends are
+    #: bit-identical, so results are backend-independent.
+    backend: Optional[str] = None
+    #: Deprecated boolean spelling of ``backend`` (True → "fastpath",
+    #: False → "reference"); also in ``NON_KEY_FIELDS``.
+    fastpath: Optional[bool] = None
     configure: Optional[Callable[[HybridSimulator], None]] = None
     cache_tag: str = ""
 
@@ -127,6 +148,9 @@ class SimJob:
             raise ValueError(
                 f"obs_level must be one of {OBS_LEVELS}, got {self.obs_level!r}"
             )
+        # Validates the name and rejects conflicting backend/fastpath
+        # settings at job-construction time rather than inside a worker.
+        resolve_backend_name(self.backend, self.fastpath)
         if self.configure is not None and not self.cache_tag:
             raise ValueError(
                 "a configure callback requires a non-empty cache_tag: the "
@@ -184,10 +208,11 @@ class SimJob:
         """Stable content hash identifying this job across processes.
 
         Frozen-dataclass reprs are deterministic functions of their field
-        values, which makes them a canonical text form for hashing.  The
-        ``configure`` callback is represented solely by ``cache_tag``
-        (enforced non-empty above); the schema/code version salts the hash
-        so old cache entries never alias new semantics.
+        values, which makes them a canonical text form for hashing.  Every
+        field participates except the documented ``NON_KEY_FIELDS`` (the
+        ``configure`` callback is represented by ``cache_tag``, enforced
+        non-empty above); the schema/code version salts the hash so old
+        cache entries never alias new semantics.
         """
         parts = (
             f"schema={CACHE_SCHEMA_VERSION}",
@@ -235,6 +260,7 @@ def execute_job(job: SimJob) -> JobRecord:
         timeout_cycles=job.timeout_cycles,
         obs_level=job.resolve_obs_level(),
         fastpath=job.fastpath,
+        backend=job.backend,
     )
     if job.configure is not None:
         job.configure(simulator)

@@ -5,14 +5,15 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional, Sequence, Union
 
-from repro.bt.runtime import BTRuntime, ExecMode
+from repro.bt.runtime import BTRuntime
 from repro.core.config import PowerChopConfig
 from repro.core.controller import PowerChopController
 from repro.core.timeout import TimeoutVPUController
 from repro.obs.collect import collect_metrics
 from repro.obs.tracer import DEFAULT_CAPACITY, Tracer
 from repro.power.accounting import EnergyAccounting
-from repro.sim.fastpath import FastPathState, run_fast
+from repro.sim.backends import get_backend, resolve_backend_name
+from repro.sim.backends.fastpath import FastPathState
 from repro.sim.results import SimulationResult
 from repro.staticcheck.hints import build_hints
 from repro.uarch.config import DesignPoint
@@ -49,16 +50,23 @@ class HybridSimulator:
         timeout_cycles: float = 20_000.0,
         obs_level: str = "off",
         obs_capacity: int = DEFAULT_CAPACITY,
-        fastpath: bool = True,
+        fastpath: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.design = design
         self.workload = workload
         self.mode = mode
-        #: Steady-phase fast path (:mod:`repro.sim.fastpath`): bit-identical
-        #: to the reference loop, so it is on by default; disable it to get
-        #: the reference execution path (the equivalence suite does).
-        self.fastpath = fastpath
-        self.fastpath_state = FastPathState() if fastpath else None
+        #: Execution backend (:mod:`repro.sim.backends`): every registered
+        #: backend is bit-identical to ``reference``, so the default is the
+        #: fastest always-applicable one.  ``fastpath`` is the deprecated
+        #: boolean spelling (True → "fastpath", False → "reference") kept
+        #: for callers that predate the registry.
+        self.backend_name = resolve_backend_name(backend, fastpath)
+        self.backend = get_backend(self.backend_name)
+        self.fastpath = self.backend_name != "reference"
+        self.fastpath_state = (
+            FastPathState() if self.backend.needs_replay_state else None
+        )
         #: The run's observability handle (``off``: inert — the run loop
         #: and every instrumented component pay one branch at most;
         #: ``metrics``: the registry snapshot lands on the result;
@@ -134,58 +142,13 @@ class HybridSimulator:
         if max_instructions < 1:
             raise ValueError("max_instructions must be >= 1")
 
-        core = self.core
-        bt = self.bt
-        controller = self.controller
-        timeout_controller = self.timeout_controller
-        tracer = self.tracer
-        execute_block = core.execute_block
-        on_block = bt.on_block
-        interpreted = ExecMode.INTERPRETED
-        cycles = 0.0
-
-        if self.fastpath and not probes:
-            # The steady-phase fast path (fused loop + same-line replay);
-            # bit-identical to both reference loops below, including the
-            # obs_level="full" event stream.
-            cycles = run_fast(self, max_instructions)
-        elif not probes and not tracer.active:
-            # The reference tight loop: identical to the pre-observability
-            # hot path (the tracer costs nothing here; instrumented
-            # components pay one dead branch each at most).
-            for block_exec in self.workload.trace(max_instructions):
-                if timeout_controller is not None:
-                    cycles += timeout_controller.on_block(block_exec, cycles)
-                exec_mode, bt_cycles, entered = on_block(block_exec.block)
-                cycles += bt_cycles
-                if entered is not None and controller is not None:
-                    cycles += controller.on_translation_entry(entered, cycles)
-                cycles += execute_block(block_exec, exec_mode is interpreted)
-        else:
-            for probe in probes:
-                probe.attach(self)
-            windows_seen = controller.windows_seen if controller else 0
-            for block_exec in self.workload.trace(max_instructions):
-                # Keep the tracer clock current so components without a
-                # cycle count in scope can still timestamp their events.
-                tracer.now = cycles
-                if timeout_controller is not None:
-                    cycles += timeout_controller.on_block(block_exec, cycles)
-                exec_mode, bt_cycles, entered = on_block(block_exec.block)
-                cycles += bt_cycles
-                if entered is not None and controller is not None:
-                    cycles += controller.on_translation_entry(entered, cycles)
-                cycles += execute_block(block_exec, exec_mode is interpreted)
-                instructions = core.counters.instructions
-                for probe in probes:
-                    probe.on_block(block_exec, cycles, instructions)
-                if controller is not None and controller.windows_seen != windows_seen:
-                    windows_seen = controller.windows_seen
-                    for probe in probes:
-                        probe.on_window(windows_seen, cycles)
+        # Every backend is bit-identical to the reference loop (including
+        # the obs_level="full" event stream); backends that don't support a
+        # feature (probes, tracing, TIMEOUT mode) delegate internally.
+        cycles = self.backend.run(self, max_instructions, probes)
 
         self.cycles = cycles
-        tracer.now = cycles
+        self.tracer.now = cycles
         result = self._build_result()
         for probe in probes:
             probe.finish(self, result)
@@ -249,13 +212,16 @@ def run_simulation(
     timeout_cycles: float = 20_000.0,
     seed: Optional[int] = None,
     obs_level: str = "off",
-    fastpath: bool = True,
+    fastpath: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build the workload, run once, return the result.
 
     Passing a :class:`BenchmarkProfile` (rather than a pre-built workload)
     guarantees a fresh instruction stream, so repeated calls with different
-    ``mode`` values compare configurations on identical traces.
+    ``mode`` values compare configurations on identical traces.  ``backend``
+    names an execution backend (``reference`` / ``fastpath`` /
+    ``vectorized``); ``fastpath`` is the deprecated boolean spelling.
     """
     if isinstance(workload, BenchmarkProfile):
         workload = build_workload(workload, seed)
@@ -267,5 +233,6 @@ def run_simulation(
         timeout_cycles=timeout_cycles,
         obs_level=obs_level,
         fastpath=fastpath,
+        backend=backend,
     )
     return simulator.run(max_instructions)

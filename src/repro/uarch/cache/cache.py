@@ -89,6 +89,17 @@ class SetAssocCache:
                 self.writebacks += 1
         return False
 
+    def charge_bulk(self, hits: int, misses: int, writebacks: int = 0) -> None:
+        """Fold batched hit/miss/writeback counts in at once.
+
+        For execution backends that resolve a burst of accesses against the
+        set dicts directly and tally outcomes locally; the per-line state
+        must already have been applied by the caller.
+        """
+        self.hits += hits
+        self.misses += misses
+        self.writebacks += writebacks
+
     def set_active_ways(self, n_ways: int) -> int:
         """Reconfigure way gating; returns dirty lines flushed (for WB cost).
 

@@ -38,6 +38,31 @@ class PerfCounters:
             self.memory_ops,
         )
 
+    def add_batch(
+        self,
+        instructions: int = 0,
+        micro_ops: int = 0,
+        simd_instructions: int = 0,
+        branches: int = 0,
+        mispredicts: int = 0,
+        btb_redirects: int = 0,
+        memory_ops: int = 0,
+    ) -> None:
+        """Fold a batch of per-block increments in at once.
+
+        Execution backends that batch monotonic counters (fastpath's
+        ``_sync``, the vectorized backend's burst flush) land their totals
+        through this single call; a flush must happen before any observer
+        (window stats, probes, metrics) reads the counters.
+        """
+        self.instructions += instructions
+        self.micro_ops += micro_ops
+        self.simd_instructions += simd_instructions
+        self.branches += branches
+        self.mispredicts += mispredicts
+        self.btb_redirects += btb_redirects
+        self.memory_ops += memory_ops
+
 
 @dataclass(slots=True)
 class UnitStates:
@@ -111,7 +136,7 @@ class CoreModel:
         self._bpu_predict_and_update = self.bpu.predict_and_update
         #: Optional steady-phase fast-path observer; when set, every gating
         #: transition notifies it so memoized replay state is conservatively
-        #: invalidated (see :mod:`repro.sim.fastpath`).
+        #: invalidated (see :mod:`repro.sim.backends.fastpath`).
         self.fastpath_listener = None
 
     # ----------------------------------------------------------------- run

@@ -42,6 +42,22 @@ class VectorUnit:
         self.emulated_ops += n_vector_instrs
         return n_vector_instrs * (self.emulation_factor - 1)
 
+    def execute_bulk(self, n_vector_instrs: int) -> int:
+        """Account a whole batch of vector instructions at once.
+
+        Equivalent to summing :meth:`execute` over the batch *provided the
+        gating state is constant across it* — which is the caller's burst
+        invariant (gating only changes at burst boundaries).  Returns the
+        total extra micro-ops emitted.
+        """
+        if n_vector_instrs < 0:
+            raise ValueError("vector instruction count must be non-negative")
+        if self.gated_on:
+            self.native_ops += n_vector_instrs
+            return 0
+        self.emulated_ops += n_vector_instrs
+        return n_vector_instrs * (self.emulation_factor - 1)
+
     def gate_off(self) -> None:
         self.gated_on = False
 

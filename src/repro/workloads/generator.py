@@ -340,7 +340,7 @@ class SyntheticWorkload:
         The schedule repeats from the start until ``max_instructions`` guest
         instructions have been produced (or runs once when unbounded).
 
-        NOTE: :func:`repro.sim.fastpath.run_fast` inlines this generator
+        NOTE: :func:`repro.sim.backends.fastpath.run_fast` inlines this generator
         (schedule walk, per-phase stream seeding, cursor arithmetic,
         produced-count termination) so it can fuse address generation into
         the cache walk.  Any semantic change here must be mirrored there —

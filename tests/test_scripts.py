@@ -96,6 +96,35 @@ class TestDeterminismLint:
         out = capsys.readouterr().out
         assert "D001" in out and "bad.py" in out
 
+    _RUN_LOOP = (
+        "def my_loop(core, workload):\n"
+        "    for block in workload.trace(100):\n"
+        "        core.execute_block(block)\n"
+    )
+
+    def test_flags_run_loops_outside_backends(self, tmp_path):
+        lint = self._lint()
+        assert self._codes(lint, self._RUN_LOOP, tmp_path) == ["D003"]
+
+    def test_allows_run_loops_inside_backends_package(self, tmp_path):
+        lint = self._lint()
+        pkg = tmp_path / "repro" / "sim" / "backends"
+        pkg.mkdir(parents=True)
+        inside = pkg / "custom.py"
+        inside.write_text(self._RUN_LOOP)
+        assert lint.lint_file(inside) == []
+
+    def test_allows_readonly_trace_scans(self, tmp_path):
+        lint = self._lint()
+        scan = (
+            "def count_blocks(workload):\n"
+            "    n = 0\n"
+            "    for block in workload.trace(100):\n"
+            "        n += 1\n"
+            "    return n\n"
+        )
+        assert self._codes(lint, scan, tmp_path) == []
+
 
 class TestGenerateExperimentsScript:
     def test_experiment_list_importable(self):
