@@ -19,11 +19,19 @@ one invocation; rates are recorded per backend
 registry existed (flat ``rates[profile][mode]``) are read as ``fastpath``
 measurements.
 
+``--speedup-floor PROFILE:RATIO`` (repeatable) additionally fails the run
+unless the best-mode vectorized-over-fastpath ratio for PROFILE reaches
+RATIO — both backends must be measured in the same invocation.
+``speedup_vs_previous`` ratios are resolved against the *most recent*
+history entry that measured each backend/profile/mode cell, so runs with
+differing profile sets never record empty ratio maps.
+
 Usage:
     python scripts/bench_throughput.py [--profiles gobmk bzip2]
         [--backend fastpath --backend vectorized]
         [--budget 1000000] [--repeats 3] [--update] [--check]
-        [--tolerance 0.30] [--output BENCH_simloop.json]
+        [--tolerance 0.30] [--speedup-floor milc:1.5]
+        [--output BENCH_simloop.json]
 """
 
 from __future__ import annotations
@@ -124,6 +132,68 @@ def check_regression(record: dict, rates: dict, tolerance: float) -> int:
     return 0
 
 
+def speedup_vs_history(rates: dict, history: list) -> dict:
+    """Per-cell ratio of ``rates`` to its most recent historical measurement.
+
+    The immediately-previous entry need not cover every backend/profile —
+    benchmark runs pick their own ``--profiles``/``--backend`` sets — and a
+    naive comparison against only that entry records ``{}`` for any profile
+    it skipped.  Walking the history newest-first finds, for every
+    backend/profile/mode measured now, the latest entry that also measured
+    it, so the ratio is present whenever the cell was ever benchmarked.
+    """
+    layers = [normalize_rates(e.get("rates", {})) for e in reversed(history) if e]
+    speedup: dict = {}
+    for backend, profiles in rates.items():
+        per_backend: dict = {}
+        for name, modes in profiles.items():
+            ratios = {}
+            for mode_name, rate in modes.items():
+                for layer in layers:
+                    base = layer.get(backend, {}).get(name, {}).get(mode_name)
+                    if base:
+                        ratios[mode_name] = round(rate / base, 2)
+                        break
+            if ratios:
+                per_backend[name] = ratios
+        if per_backend:
+            speedup[backend] = per_backend
+    return speedup
+
+
+def check_speedup_floors(cross: dict, floors) -> int:
+    """Gate: best-mode vectorized/fastpath ratio per profile; exit code."""
+    failures = []
+    for spec in floors:
+        name, _, want = spec.partition(":")
+        try:
+            want_ratio = float(want)
+        except ValueError:
+            failures.append(f"bad --speedup-floor spec {spec!r} (PROFILE:RATIO)")
+            continue
+        ratios = cross.get(name)
+        if not ratios:
+            failures.append(
+                f"{name}: no vectorized/fastpath ratio measured "
+                "(run with --backend fastpath --backend vectorized)"
+            )
+            continue
+        best = max(ratios.values())
+        if best < want_ratio:
+            failures.append(
+                f"{name}: best vectorized speedup {best:.2f}x < floor "
+                f"{want_ratio:.2f}x (per mode: {ratios})"
+            )
+        else:
+            print(f"speedup floor ok: {name} {best:.2f}x >= {want_ratio:.2f}x")
+    if failures:
+        print("speedup floor violations:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    return 0
+
+
 def cross_backend_speedup(rates: dict) -> dict:
     """vectorized-over-fastpath ratio per profile per mode, when both ran."""
     fast = rates.get("fastpath", {})
@@ -157,6 +227,14 @@ def main() -> int:
     parser.add_argument("--check", action="store_true")
     parser.add_argument("--tolerance", type=float, default=0.30)
     parser.add_argument(
+        "--speedup-floor",
+        action="append",
+        default=None,
+        metavar="PROFILE:RATIO",
+        help="fail unless the best-mode vectorized/fastpath ratio for "
+        "PROFILE is at least RATIO; repeatable (CI perf-smoke gate)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_simloop.json",
@@ -172,22 +250,13 @@ def main() -> int:
     if args.check:
         exit_code = check_regression(record, rates, args.tolerance)
 
+    cross = cross_backend_speedup(rates)
+
     if args.update:
         previous = record.get("current")
-        speedup: dict = {}
         if previous:
             record.setdefault("history", []).append(previous)
-            prev_rates = normalize_rates(previous.get("rates", {}))
-            for backend, profiles in rates.items():
-                base_profiles = prev_rates.get(backend, {})
-                speedup[backend] = {
-                    name: {
-                        mode_name: round(rate / base_modes[mode_name], 2)
-                        for mode_name, rate in modes.items()
-                        if (base_modes := base_profiles.get(name, {})).get(mode_name)
-                    }
-                    for name, modes in profiles.items()
-                }
+        speedup = speedup_vs_history(rates, record.get("history", []))
         record["current"] = {
             "label": args.label or "bench_throughput run",
             "budget": args.budget,
@@ -196,11 +265,14 @@ def main() -> int:
         }
         if speedup:
             record["current"]["speedup_vs_previous"] = speedup
-        cross = cross_backend_speedup(rates)
         if cross:
             record["current"]["vectorized_speedup_vs_fastpath"] = cross
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
+
+    if args.speedup_floor:
+        floor_code = check_speedup_floors(cross, args.speedup_floor)
+        exit_code = exit_code or floor_code
 
     return exit_code
 

@@ -13,6 +13,13 @@ Usage:
 scripts/bench_throughput.py and the CI perf-smoke job); ``--backend``
 selects the execution backend (reference / fastpath / vectorized;
 ``--no-fastpath`` is the deprecated spelling of ``--backend reference``).
+
+``--breakdown`` runs one extra POWERCHOP simulation and reports where its
+wall-clock went: pass A (the recording walk), pass B (the array flush
+kernels), and scalar (window-boundary blocks executed out of line).  With
+``--json`` the output becomes ``{"rates": ..., "breakdown": ...}`` — the
+flat shape is kept whenever ``--breakdown`` is absent, so existing
+consumers are unaffected.
 """
 
 from __future__ import annotations
@@ -60,6 +67,12 @@ def main() -> None:
     )
     parser.add_argument("--json", action="store_true")
     parser.add_argument("--cprofile", action="store_true")
+    parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="report the run loop's wall-clock split (pass A walk / "
+        "pass B flushes / scalar boundary blocks) from one POWERCHOP run",
+    )
     args = parser.parse_args()
 
     if args.backend and args.no_fastpath:
@@ -72,11 +85,41 @@ def main() -> None:
             args.benchmark, args.instructions, mode, backend
         )
 
+    breakdown = None
+    if args.breakdown:
+        profile = get_profile(args.benchmark)
+        design = design_for_suite(profile.suite)
+        workload = build_workload(profile)
+        simulator = HybridSimulator(
+            design, workload, GatingMode.POWERCHOP, backend=backend
+        )
+        simulator.run(args.instructions)
+        fs = simulator.fastpath_state
+        total = fs.pass_a_seconds + fs.pass_b_seconds + fs.scalar_seconds
+        breakdown = {
+            "pass_a_seconds": round(fs.pass_a_seconds, 4),
+            "pass_b_seconds": round(fs.pass_b_seconds, 4),
+            "scalar_seconds": round(fs.scalar_seconds, 4),
+            "pass_a_share": round(fs.pass_a_seconds / total, 3) if total else 0.0,
+            "pass_b_share": round(fs.pass_b_seconds / total, 3) if total else 0.0,
+            "scalar_share": round(fs.scalar_seconds / total, 3) if total else 0.0,
+        }
+
     if args.json:
-        print(json.dumps(rates))
+        if breakdown is not None:
+            print(json.dumps({"rates": rates, "breakdown": breakdown}))
+        else:
+            print(json.dumps(rates))
     else:
         for mode_name, rate in rates.items():
             print(f"{mode_name:10s} {rate / 1e6:6.2f} M guest-instructions/s")
+        if breakdown is not None:
+            print("run-loop breakdown (POWERCHOP):")
+            for part in ("pass_a", "pass_b", "scalar"):
+                print(
+                    f"  {part:8s} {breakdown[part + '_seconds']:8.4f}s "
+                    f"({breakdown[part + '_share']:5.1%})"
+                )
 
     if args.cprofile:
         profile = get_profile(args.benchmark)

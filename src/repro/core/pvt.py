@@ -52,6 +52,14 @@ class PolicyVectorTable:
             tracer.emit(EventKind.PVT_HIT, tracer.now, {"signature": signature})
         return policy
 
+    def peek(self, signature: PhaseSignature) -> Optional[PolicyVector]:
+        """Read an entry without touching LRU order, stats, or the tracer.
+
+        Used by the vectorized backend to decide whether a window boundary
+        is policy-idle *before* performing the real :meth:`lookup`.
+        """
+        return self._entries.get(signature)
+
     def insert(
         self, signature: PhaseSignature, policy: PolicyVector
     ) -> Optional[Tuple[PhaseSignature, PolicyVector]]:

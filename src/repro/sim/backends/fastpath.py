@@ -93,6 +93,9 @@ class FastPathState:
         "bursts_recorded",
         "blocks_vectorized",
         "blocks_fallback",
+        "pass_a_seconds",
+        "pass_b_seconds",
+        "scalar_seconds",
     )
 
     def __init__(self) -> None:
@@ -110,6 +113,12 @@ class FastPathState:
         self.bursts_recorded = 0
         self.blocks_vectorized = 0
         self.blocks_fallback = 0
+        #: Wall-clock split of the vectorized run loop (pass A = recording
+        #: walk, pass B = array flushes, scalar = window-boundary blocks);
+        #: reported by ``scripts/profile_simulator.py --breakdown``.
+        self.pass_a_seconds = 0.0
+        self.pass_b_seconds = 0.0
+        self.scalar_seconds = 0.0
 
     def note_gating(self, unit: str) -> None:
         """A unit changed power state (VPU/BPU gate, MLC way-gate/flush)."""
