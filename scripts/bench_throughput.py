@@ -26,6 +26,15 @@ RATIO — both backends must be measured in the same invocation.
 history entry that measured each backend/profile/mode cell, so runs with
 differing profile sets never record empty ratio maps.
 
+``--update`` also records a ``walk_memo`` section: pass-A wall-clock on
+the ``--memo-profiles`` set (default: dgemm) with and without proof
+certificates, plus the memo hit counters — the measured effect of the
+walk-trace memoization (``repro.staticcheck.proofs``).  This is recorded,
+not gated: memoization only applies to certified-deterministic kernel
+profiles.  The ``milc:1.5`` speedup floor in CI is unaffected — milc's
+branch models are stochastic, so it never certifies and its vectorized
+speedup comes entirely from the batch kernels, proofs or not.
+
 Usage:
     python scripts/bench_throughput.py [--profiles gobmk bzip2]
         [--backend fastpath --backend vectorized]
@@ -83,6 +92,44 @@ def measure(profiles, budget: int, repeats: int, backends) -> dict:
                     f"{rates[backend][name][mode.value]:6.2f} M guest-instructions/s"
                 )
     return rates
+
+
+def memo_breakdown(benchmark: str, budget: int) -> dict:
+    """Pass-A seconds and memo counters, with and without certificates."""
+    from repro.staticcheck.proofs import ProofStore
+
+    out: dict = {}
+    for tag in ("baseline", "proofs"):
+        profile = get_profile(benchmark)
+        design = design_for_suite(profile.suite)
+        workload = build_workload(profile)
+        proofs = (
+            ProofStore().get_or_certify(profile, workload=workload)
+            if tag == "proofs"
+            else None
+        )
+        simulator = HybridSimulator(
+            design,
+            workload,
+            GatingMode.POWERCHOP,
+            backend="vectorized",
+            proofs=proofs,
+        )
+        simulator.run(budget)
+        fs = simulator.fastpath_state
+        total = fs.pass_a_seconds + fs.pass_b_seconds + fs.scalar_seconds
+        out[tag] = {
+            "pass_a_seconds": round(fs.pass_a_seconds, 4),
+            "pass_a_share": round(fs.pass_a_seconds / total, 3) if total else 0.0,
+            "memo_hits": fs.walk_memo_hits,
+            "memo_records": fs.walk_memo_records,
+            "blocks_replayed": fs.walk_memo_blocks,
+        }
+    base = out["baseline"]["pass_a_seconds"]
+    with_p = out["proofs"]["pass_a_seconds"]
+    if with_p:
+        out["pass_a_speedup"] = round(base / with_p, 2)
+    return out
 
 
 def normalize_rates(rates: dict) -> dict:
@@ -235,6 +282,14 @@ def main() -> int:
         "PROFILE is at least RATIO; repeatable (CI perf-smoke gate)",
     )
     parser.add_argument(
+        "--memo-profiles",
+        nargs="*",
+        default=["dgemm"],
+        help="certified-deterministic profiles whose walk-memo pass-A "
+        "effect is recorded on --update (default: dgemm; pass no names "
+        "to skip)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_simloop.json",
@@ -267,6 +322,11 @@ def main() -> int:
             record["current"]["speedup_vs_previous"] = speedup
         if cross:
             record["current"]["vectorized_speedup_vs_fastpath"] = cross
+        if args.memo_profiles:
+            record["current"]["walk_memo"] = {
+                name: memo_breakdown(name, args.budget)
+                for name in args.memo_profiles
+            }
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
 

@@ -22,6 +22,23 @@ The simulator's reproducibility rests on two conventions:
    trace scans (statistics, simpoints, trace recording) don't charge
    cycles and stay legal.
 
+4. Inside :mod:`repro.sim.backends`, randomness is pre-materialized by
+   :mod:`repro.sim.backends.rngkit` plans that replicate the reference
+   loop's draw order exactly.  A backend reaching directly into a
+   component's ``random.Random`` (``stream._rng.getrandbits(...)``, a
+   bound ``._random`` method) draws outside the plan and silently
+   desynchronizes the mirrored streams, so this lint rejects it (rule
+   D004) unless the line carries a ``# lint: rng-mirrored`` pragma
+   asserting the site replicates the scalar call order.  ``rngkit.py``
+   itself is exempt — it is the mirror.
+
+5. Mutable default arguments (``def f(x=[])``) alias one object across
+   calls; simulator state leaking through one breaks run-to-run
+   determinism in ways no seed controls.  Dataclasses already raise on
+   mutable field defaults, so this lint covers plain function and lambda
+   parameter defaults: list/dict/set displays and bare ``list()`` /
+   ``dict()`` / ``set()`` calls are rejected (rule D005).
+
 Usage:
     python scripts/lint_determinism.py [paths ...]
 
@@ -72,6 +89,14 @@ _FROZEN_REQUIRED = frozenset({"SimJob", "ProbeSpec"})
 #: The one package allowed to implement simulation run loops (rule D003).
 _BACKENDS_PACKAGE = "repro/sim/backends"
 
+#: Pragma suppressing D004 on a line that provably mirrors the reference
+#: loop's RNG call order (same method, same sequence of draws).
+_RNG_PRAGMA = "# lint: rng-mirrored"
+
+#: Default-argument constructors that build a fresh-looking but shared
+#: mutable object (rule D005); literals are caught structurally.
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
 
 class Violation(Tuple[str, int, str, str]):
     __slots__ = ()
@@ -94,8 +119,15 @@ def _dotted(node: ast.AST) -> str:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, tree: ast.Module) -> None:
+    def __init__(
+        self, path: str, tree: ast.Module, lines: Tuple[str, ...] = ()
+    ) -> None:
         self.path = path
+        self.lines = lines
+        norm = path.replace("\\", "/")
+        self.in_backends = (
+            _BACKENDS_PACKAGE in norm and not norm.endswith("/rngkit.py")
+        )
         self.violations: List[Violation] = []
         # Names the module binds to the random / numpy.random modules.
         self.random_aliases = {"random"}
@@ -121,6 +153,71 @@ class _Linter(ast.NodeVisitor):
         self.violations.append(
             Violation((self.path, node.lineno, code, message))
         )
+
+    def _has_rng_pragma(self, node: ast.AST) -> bool:
+        lineno = getattr(node, "lineno", 0)
+        if 0 < lineno <= len(self.lines):
+            return _RNG_PRAGMA in self.lines[lineno - 1]
+        return False
+
+    # -- D004: backend RNG draws must go through rngkit mirrors --------
+
+    def _rng_draw_attr(self, node: ast.AST) -> str:
+        """Dotted name if ``node`` reaches directly into a Random, else ''.
+
+        Two shapes count: a bound ``._random`` method (AddressStream's
+        cached ``Random.random``) and a draw method reached through a
+        ``._rng`` attribute chain (``stream._rng.getrandbits``).
+        """
+        if not isinstance(node, ast.Attribute):
+            return ""
+        if node.attr == "_random":
+            return _dotted(node) or "._random"
+        if node.attr in _RANDOM_DRAWS:
+            inner = node.value
+            while isinstance(inner, ast.Attribute):
+                if inner.attr == "_rng":
+                    return _dotted(node) or f"._rng.{node.attr}"
+                inner = inner.value
+        return ""
+
+    def _check_rng_access(self, node: ast.AST) -> None:
+        if not self.in_backends:
+            return
+        name = self._rng_draw_attr(node)
+        if name and not self._has_rng_pragma(node):
+            self._flag(
+                node,
+                "D004",
+                f"backend reaches directly into a random.Random ('{name}') "
+                "outside the rngkit mirror; route the draw through a "
+                "rngkit plan, or mark a provably order-preserving site "
+                f"with '{_RNG_PRAGMA}'",
+            )
+
+    # -- D005: mutable default arguments -------------------------------
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+                and not default.args
+                and not default.keywords
+            )
+            if mutable:
+                name = getattr(node, "name", "<lambda>")
+                self._flag(
+                    default,
+                    "D005",
+                    f"mutable default argument in '{name}' is shared "
+                    "across calls and can leak simulator state between "
+                    "runs; default to None and construct inside the body",
+                )
 
     # -- D001: unseeded randomness ------------------------------------
 
@@ -154,6 +251,13 @@ class _Linter(ast.NodeVisitor):
                     f"'{name}()' uses numpy's global RNG; use "
                     "numpy.random.default_rng(seed)",
                 )
+        self._check_rng_access(node.func)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Binding a draw method (``rng = stream._rng.getrandbits``) is the
+        # hoisted spelling of a direct draw; D004 applies equally.
+        self._check_rng_access(node.value)
         self.generic_visit(node)
 
     # -- D003: run loops belong in repro.sim.backends -----------------
@@ -191,10 +295,16 @@ class _Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_run_loop(node)
+        self._check_defaults(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_run_loop(node)
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
         self.generic_visit(node)
 
     # -- D002: engine spec dataclasses must be frozen -----------------
@@ -242,8 +352,9 @@ def iter_sources(paths: List[str]) -> Iterator[Path]:
 
 
 def lint_file(path: Path) -> List[Violation]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    linter = _Linter(str(path), tree)
+    text = path.read_text()
+    tree = ast.parse(text, filename=str(path))
+    linter = _Linter(str(path), tree, tuple(text.splitlines()))
     linter.visit(tree)
     return linter.violations
 

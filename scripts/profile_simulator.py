@@ -20,6 +20,11 @@ kernels), and scalar (window-boundary blocks executed out of line).  With
 ``--json`` the output becomes ``{"rates": ..., "breakdown": ...}`` — the
 flat shape is kept whenever ``--breakdown`` is absent, so existing
 consumers are unaffected.
+
+``--proofs`` attaches a proof certificate (``repro.staticcheck.proofs``)
+to every run; on certified-deterministic profiles (dgemm, stencil) the
+vectorized backend then memoizes pass-A walk traces, and ``--breakdown``
+additionally reports the memo counters.
 """
 
 from __future__ import annotations
@@ -38,16 +43,29 @@ from repro.workloads.suites import get_profile
 
 
 def throughput(
-    benchmark: str, budget: int, mode: GatingMode, backend: str = "fastpath"
+    benchmark: str,
+    budget: int,
+    mode: GatingMode,
+    backend: str = "fastpath",
+    use_proofs: bool = False,
 ) -> float:
     profile = get_profile(benchmark)
     design = design_for_suite(profile.suite)
     workload = build_workload(profile)
-    simulator = HybridSimulator(design, workload, mode, backend=backend)
+    proofs = _certificate(profile) if use_proofs else None
+    simulator = HybridSimulator(
+        design, workload, mode, backend=backend, proofs=proofs
+    )
     start = time.perf_counter()
     result = simulator.run(budget)
     elapsed = time.perf_counter() - start
     return result.instructions / elapsed
+
+
+def _certificate(profile):
+    from repro.staticcheck.proofs import ProofStore
+
+    return ProofStore().get_or_certify(profile)
 
 
 def main() -> None:
@@ -73,6 +91,12 @@ def main() -> None:
         help="report the run loop's wall-clock split (pass A walk / "
         "pass B flushes / scalar boundary blocks) from one POWERCHOP run",
     )
+    parser.add_argument(
+        "--proofs",
+        action="store_true",
+        help="attach proof certificates (inert; unlocks walk-trace "
+        "memoization on certified-deterministic profiles)",
+    )
     args = parser.parse_args()
 
     if args.backend and args.no_fastpath:
@@ -82,7 +106,7 @@ def main() -> None:
     rates = {}
     for mode in (GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL):
         rates[mode.value] = throughput(
-            args.benchmark, args.instructions, mode, backend
+            args.benchmark, args.instructions, mode, backend, args.proofs
         )
 
     breakdown = None
@@ -91,7 +115,11 @@ def main() -> None:
         design = design_for_suite(profile.suite)
         workload = build_workload(profile)
         simulator = HybridSimulator(
-            design, workload, GatingMode.POWERCHOP, backend=backend
+            design,
+            workload,
+            GatingMode.POWERCHOP,
+            backend=backend,
+            proofs=_certificate(profile) if args.proofs else None,
         )
         simulator.run(args.instructions)
         fs = simulator.fastpath_state
@@ -104,6 +132,14 @@ def main() -> None:
             "pass_b_share": round(fs.pass_b_seconds / total, 3) if total else 0.0,
             "scalar_share": round(fs.scalar_seconds / total, 3) if total else 0.0,
         }
+        if args.proofs:
+            breakdown["walk_memo"] = {
+                "hits": fs.walk_memo_hits,
+                "records": fs.walk_memo_records,
+                "blocks_replayed": fs.walk_memo_blocks,
+                "proof_validations": fs.proof_validations,
+                "proof_rejections": fs.proof_rejections,
+            }
 
     if args.json:
         if breakdown is not None:
@@ -119,6 +155,13 @@ def main() -> None:
                 print(
                     f"  {part:8s} {breakdown[part + '_seconds']:8.4f}s "
                     f"({breakdown[part + '_share']:5.1%})"
+                )
+            memo = breakdown.get("walk_memo")
+            if memo is not None:
+                print(
+                    f"  memo     {memo['hits']} hit(s) / "
+                    f"{memo['records']} record(s), "
+                    f"{memo['blocks_replayed']:,} blocks replayed"
                 )
 
     if args.cprofile:

@@ -96,6 +96,11 @@ class FastPathState:
         "pass_a_seconds",
         "pass_b_seconds",
         "scalar_seconds",
+        "walk_memo_hits",
+        "walk_memo_records",
+        "walk_memo_blocks",
+        "proof_validations",
+        "proof_rejections",
     )
 
     def __init__(self) -> None:
@@ -119,6 +124,17 @@ class FastPathState:
         self.pass_a_seconds = 0.0
         self.pass_b_seconds = 0.0
         self.scalar_seconds = 0.0
+        #: Walk-trace memo statistics (vectorized backend, certified
+        #: deterministic regions only): chunks replayed / recorded and
+        #: blocks covered by replays.
+        self.walk_memo_hits = 0
+        self.walk_memo_records = 0
+        self.walk_memo_blocks = 0
+        #: Proof-certificate consumption: certificates validated against the
+        #: live workload, and certificates rejected (stale/inapplicable —
+        #: the run fell back to runtime checks).
+        self.proof_validations = 0
+        self.proof_rejections = 0
 
     def note_gating(self, unit: str) -> None:
         """A unit changed power state (VPU/BPU gate, MLC way-gate/flush)."""
@@ -297,12 +313,12 @@ def run_fast(simulator: "HybridSimulator", max_instructions: int) -> float:
             pattern = behavior.pattern
             ws_bytes = stream._ws_bytes
             limit = ws_bytes if pattern == "loop" else stream._stream_limit
-            rng_random = stream._random
+            rng_random = stream._random  # lint: rng-mirrored
             # Inlined randrange(ws_bytes): CPython's Random.randrange on a
             # positive int stop delegates to _randbelow_with_getrandbits —
             # replicated here verbatim so the draw sequence is identical
             # while skipping two interpreter frames per draw.
-            rng_getrandbits = stream._rng.getrandbits
+            rng_getrandbits = stream._rng.getrandbits  # lint: rng-mirrored
             ws_k = ws_bytes.bit_length()
             use_rng = random_frac > 0.0
             is_random = pattern == "random"

@@ -38,6 +38,7 @@ from repro.sim.backends import resolve_backend_name
 from repro.sim.probes import MetricsProbe, PhaseLogProbe, ProbeSpec, TraceProbe
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.staticcheck.proofs import ProofStore
 from repro.uarch.config import DesignPoint, design_for_suite
 from repro.workloads.profiles import BenchmarkProfile, build_workload
 from repro.workloads.suites import get_profile
@@ -73,11 +74,15 @@ CACHE_SCHEMA_VERSION = 4
 #:   cache entries;
 #: - ``configure``: an opaque callable that cannot be content-hashed; its
 #:   effect is represented in the key by the mandatory ``cache_tag``
-#:   instead (enforced in ``__post_init__``).
+#:   instead (enforced in ``__post_init__``);
+#: - ``use_proofs``: proof certificates are *inert* — a run with a
+#:   certificate attached is bit-identical to one without (enforced by
+#:   tests/test_proofs.py), so jobs that differ only in ``use_proofs``
+#:   share cache entries.
 #:
 #: Adding a field to SimJob?  It must appear either in ``key()`` or here —
 #: tests/test_backends.py cross-checks the split is exhaustive.
-NON_KEY_FIELDS = frozenset({"backend", "fastpath", "configure"})
+NON_KEY_FIELDS = frozenset({"backend", "fastpath", "configure", "use_proofs"})
 
 _MANAGED_UNITS = ("vpu", "bpu", "mlc")
 
@@ -129,6 +134,12 @@ class SimJob:
     #: Deprecated boolean spelling of ``backend`` (True → "fastpath",
     #: False → "reference"); also in ``NON_KEY_FIELDS``.
     fastpath: Optional[bool] = None
+    #: Attach a proof certificate (``repro.staticcheck.proofs``) to the
+    #: run: fetched from the :class:`ProofStore` (or freshly certified),
+    #: fingerprint-validated against the built workload, and consumed by
+    #: the vectorized backend for walk-trace memoization.  Inert — results
+    #: are bit-identical either way — so also in ``NON_KEY_FIELDS``.
+    use_proofs: bool = False
     configure: Optional[Callable[[HybridSimulator], None]] = None
     cache_tag: str = ""
 
@@ -252,6 +263,14 @@ def execute_job(job: SimJob) -> JobRecord:
     profile = job.resolve_profile()
     design = job.resolve_design(profile)
     workload = build_workload(profile, job.seed)
+    proofs = None
+    if job.use_proofs:
+        # The store revalidates any cached certificate against the freshly
+        # built workload's fingerprint and re-certifies on mismatch, so a
+        # stale certificate can never reach the simulator from here.
+        proofs = ProofStore().get_or_certify(
+            profile, workload=workload, seed=job.seed
+        )
     simulator = HybridSimulator(
         design,
         workload,
@@ -261,6 +280,7 @@ def execute_job(job: SimJob) -> JobRecord:
         obs_level=job.resolve_obs_level(),
         fastpath=job.fastpath,
         backend=job.backend,
+        proofs=proofs,
     )
     if job.configure is not None:
         job.configure(simulator)

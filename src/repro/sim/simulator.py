@@ -52,10 +52,16 @@ class HybridSimulator:
         obs_capacity: int = DEFAULT_CAPACITY,
         fastpath: Optional[bool] = None,
         backend: Optional[str] = None,
+        proofs=None,
     ) -> None:
         self.design = design
         self.workload = workload
         self.mode = mode
+        #: Optional proof certificate (``repro.staticcheck.proofs``).
+        #: Advisory: the vectorized backend validates it against the live
+        #: workload and silently falls back to runtime checks when it is
+        #: stale or inapplicable; other backends ignore it.
+        self.proof_certificate = proofs
         #: Execution backend (:mod:`repro.sim.backends`): every registered
         #: backend is bit-identical to ``reference``, so the default is the
         #: fastest always-applicable one.  ``fastpath`` is the deprecated
@@ -214,6 +220,7 @@ def run_simulation(
     obs_level: str = "off",
     fastpath: Optional[bool] = None,
     backend: Optional[str] = None,
+    proofs=None,
 ) -> SimulationResult:
     """Convenience wrapper: build the workload, run once, return the result.
 
@@ -222,6 +229,8 @@ def run_simulation(
     ``mode`` values compare configurations on identical traces.  ``backend``
     names an execution backend (``reference`` / ``fastpath`` /
     ``vectorized``); ``fastpath`` is the deprecated boolean spelling.
+    ``proofs`` optionally attaches a
+    :class:`~repro.staticcheck.proofs.ProfileCertificate`.
     """
     if isinstance(workload, BenchmarkProfile):
         workload = build_workload(workload, seed)
@@ -234,5 +243,6 @@ def run_simulation(
         obs_level=obs_level,
         fastpath=fastpath,
         backend=backend,
+        proofs=proofs,
     )
     return simulator.run(max_instructions)

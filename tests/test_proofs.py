@@ -1,0 +1,335 @@
+"""Tests for proof certificates (repro.staticcheck.proofs).
+
+Covers the proof pass itself (region / stream / window proofs and their
+fingerprints), the on-disk :class:`ProofStore`, and — most importantly —
+the soundness contract with the vectorized backend: certificates are
+advisory, so simulation results are bit-identical with proofs attached,
+absent, or *stale*, and a stale certificate is rejected at validation
+time rather than trusted.
+"""
+
+import json
+
+import pytest
+
+from repro.isa.branches import BiasedBranch, GlobalCorrelatedBranch, LoopBranch
+from repro.sim.simulator import GatingMode, HybridSimulator
+from repro.staticcheck.proofs import (
+    BUFFERED,
+    CLOSED_FORM,
+    HISTORY_COUPLED,
+    OPAQUE,
+    PROOF_SCHEMA_VERSION,
+    ProfileCertificate,
+    ProofStore,
+    certify_workload,
+    classify_model,
+    fingerprint_region,
+    fingerprint_workload,
+    prove_region,
+    prove_streams,
+    prove_window,
+)
+from repro.uarch.config import design_for_suite
+from repro.workloads.kernels import PROFILES as KERNEL_PROFILES
+from repro.workloads.profiles import build_workload
+from repro.workloads.suites import ALL_BENCHMARKS, get_profile
+
+from tests.test_backends import _QUICK, _deep_state
+
+
+# ------------------------------------------------------------ classification
+
+
+class TestClassification:
+    def test_lattice_placement(self):
+        from repro.isa.branches import PatternBranch, RandomBranch
+
+        assert classify_model(LoopBranch(4)) == CLOSED_FORM
+        assert classify_model(PatternBranch([True, False])) == CLOSED_FORM
+        assert classify_model(BiasedBranch(0.5)) == BUFFERED
+        assert classify_model(RandomBranch()) == BUFFERED
+        assert classify_model(GlobalCorrelatedBranch()) == HISTORY_COUPLED
+
+    def test_subclasses_are_opaque(self):
+        # A subclass may override next_outcome arbitrarily; exact-type
+        # dispatch must not inherit the parent's classification.
+        class SneakyLoop(LoopBranch):
+            pass
+
+        assert classify_model(SneakyLoop(4)) == OPAQUE
+
+
+# ------------------------------------------------------------- region proofs
+
+
+class TestRegionProofs:
+    def test_kernel_regions_certify_deterministic(self):
+        for profile in KERNEL_PROFILES:
+            workload = build_workload(profile)
+            for name, phase in workload.phases.items():
+                proof = prove_region(name, phase.region)
+                assert proof.deterministic, proof.reasons
+                assert proof.reasons == ()
+                assert set(proof.classes) == {CLOSED_FORM}
+                assert proof.period_lcm is not None and proof.period_lcm >= 1
+
+    def test_paper_profiles_do_not_certify(self):
+        # Every paper benchmark mixes in stochastic branches; the proof
+        # must say so per-block rather than silently certify.
+        workload = build_workload(get_profile("gobmk"))
+        proofs = [
+            prove_region(name, phase.region)
+            for name, phase in workload.phases.items()
+        ]
+        assert not any(p.deterministic for p in proofs)
+        assert all(p.reasons for p in proofs)
+        assert all(p.period_lcm is None for p in proofs)
+
+    def test_mutating_a_model_flips_the_verdict(self):
+        workload = build_workload(get_profile("dgemm"))
+        region = next(iter(workload.phases.values())).region
+        before = prove_region("p", region)
+        assert before.deterministic
+        block = next(b for b in region.blocks if b.branch is not None)
+        block.branch.model = BiasedBranch(0.5, seed=3)
+        after = prove_region("p", region)
+        assert not after.deterministic
+        assert any("BiasedBranch" in r for r in after.reasons)
+
+
+# ----------------------------------------------------- stream / window proofs
+
+
+class TestStreamAndWindowProofs:
+    def test_stream_slots_are_certified_disjoint(self):
+        workload = build_workload(get_profile("stencil"))
+        proof = prove_streams(workload)
+        assert proof.slotted
+        assert len(proof.slots) == len(workload.phases)
+        # Slotted means pairwise-disjoint ranges by construction; check it.
+        ranges = sorted((base, base + span) for _, base, span, *_ in proof.slots)
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi <= lo
+
+    def test_window_head_bound_counts_every_block(self):
+        workload = build_workload(get_profile("dgemm"))
+        proof = prove_window(workload)
+        regions = {p.region.region_id: p.region for p in workload.phases.values()}
+        assert proof.n_regions == len(regions)
+        assert proof.head_bound == sum(len(r.blocks) for r in regions.values())
+
+
+# --------------------------------------------------------------- fingerprints
+
+
+class TestFingerprints:
+    def test_region_fingerprint_is_stable(self):
+        region = next(
+            iter(build_workload(get_profile("dgemm")).phases.values())
+        ).region
+        assert fingerprint_region(region) == fingerprint_region(region)
+
+    def test_region_fingerprint_sees_model_mutation(self):
+        workload = build_workload(get_profile("dgemm"))
+        region = next(iter(workload.phases.values())).region
+        before = fingerprint_region(region)
+        block = next(b for b in region.blocks if b.branch is not None)
+        block.branch.model = BiasedBranch(0.5, seed=3)
+        assert fingerprint_region(region) != before
+
+    def test_workload_fingerprint_sees_seed(self):
+        profile = get_profile("dgemm")
+        assert fingerprint_workload(build_workload(profile)) != (
+            fingerprint_workload(build_workload(profile, seed=profile.seed + 1))
+        )
+
+
+# ------------------------------------------------------- certificate bundles
+
+
+class TestCertificate:
+    def test_json_round_trip(self):
+        cert = certify_workload(get_profile("stencil"))
+        wire = json.loads(json.dumps(cert.to_dict()))
+        assert ProfileCertificate.from_dict(wire) == cert
+        assert ProfileCertificate.from_dict(wire).content_hash == cert.content_hash
+
+    def test_schema_version_is_stamped(self):
+        cert = certify_workload(get_profile("dgemm"))
+        assert cert.schema_version == PROOF_SCHEMA_VERSION
+
+    def test_report_shape(self):
+        report = certify_workload(get_profile("dgemm")).report()
+        assert report["benchmark"] == "dgemm"
+        assert report["deterministic_regions"] == report["regions"]
+        assert report["stream_slotted"] is True
+        assert report["non_deterministic_reasons"] == {}
+        assert report["content_hash"]
+
+    def test_certification_is_read_only(self):
+        # Certifying the live workload must not advance any RNG: a
+        # simulation after certification matches one without it.
+        profile = get_profile("bzip2")
+        design = design_for_suite(profile.suite)
+
+        def run(certify_first):
+            workload = build_workload(profile)
+            if certify_first:
+                certify_workload(profile, workload=workload)
+            sim = HybridSimulator(design, workload, GatingMode.FULL)
+            return sim.run(60_000).to_dict()
+
+        assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------- the store
+
+
+class TestProofStore:
+    def test_round_trip(self, tmp_path):
+        store = ProofStore(root=tmp_path, enabled=True)
+        cert = certify_workload(get_profile("dgemm"))
+        store.put(cert)
+        assert store.get("dgemm", cert.seed) == cert
+        assert store.hits == 1
+
+    def test_disabled_store_is_inert(self, tmp_path):
+        store = ProofStore(root=tmp_path, enabled=False)
+        store.put(certify_workload(get_profile("dgemm")))
+        assert list(tmp_path.iterdir()) == []
+        assert store.get("dgemm", 409) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ProofStore(root=tmp_path, enabled=True)
+        cert = certify_workload(get_profile("dgemm"))
+        store.put(cert)
+        path = store._path(store.key("dgemm", cert.seed))
+        data = json.loads(path.read_text())
+        data["schema_version"] = PROOF_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert store.get("dgemm", cert.seed) is None
+        assert store.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ProofStore(root=tmp_path, enabled=True)
+        cert = certify_workload(get_profile("dgemm"))
+        store.put(cert)
+        store._path(store.key("dgemm", cert.seed)).write_text("{not json")
+        assert store.get("dgemm", cert.seed) is None
+
+    def test_get_or_certify_rejects_stale_fingerprint(self, tmp_path):
+        store = ProofStore(root=tmp_path, enabled=True)
+        profile = get_profile("dgemm")
+        first = store.get_or_certify(profile)
+        # Mutate the live workload: the stored certificate no longer
+        # describes it, so get_or_certify must re-certify.
+        workload = build_workload(profile)
+        region = next(iter(workload.phases.values())).region
+        block = next(b for b in region.blocks if b.branch is not None)
+        block.branch.model = BiasedBranch(0.5, seed=3)
+        fresh = store.get_or_certify(profile, workload=workload)
+        assert fresh.workload_fingerprint != first.workload_fingerprint
+        assert not fresh.deterministic_regions
+
+
+# ------------------------------------------- soundness with the vectorized run
+
+
+def _kernel_sim(name, mode, backend, proofs=None, mutate=False):
+    profile = get_profile(name)
+    workload = build_workload(profile)
+    if mutate:
+        region = next(iter(workload.phases.values())).region
+        block = next(b for b in region.blocks if b.branch is not None)
+        block.branch.model = BiasedBranch(0.6, seed=11)
+    return HybridSimulator(
+        design_for_suite(profile.suite),
+        workload,
+        mode,
+        powerchop_config=_QUICK if mode is GatingMode.POWERCHOP else None,
+        backend=backend,
+        proofs=proofs,
+    )
+
+
+@pytest.mark.parametrize("name", ["dgemm", "stencil"])
+def test_memo_fires_on_certified_kernels(name):
+    cert = certify_workload(get_profile(name))
+    sim = _kernel_sim(name, GatingMode.FULL, "vectorized", proofs=cert)
+    sim.run(200_000)
+    fs = sim.fastpath_state
+    assert fs.proof_validations == 1
+    assert fs.proof_rejections == 0
+    assert fs.walk_memo_records > 0
+    assert fs.walk_memo_hits > 0
+    assert fs.walk_memo_blocks > 0
+
+
+@pytest.mark.parametrize("name", ["dgemm", "stencil"])
+@pytest.mark.parametrize(
+    "mode", [GatingMode.FULL, GatingMode.POWERCHOP, GatingMode.MINIMAL]
+)
+def test_proofs_are_bit_identical(name, mode):
+    ref_sim = _kernel_sim(name, mode, "reference")
+    ref = ref_sim.run(200_000).to_dict()
+    ref_state = _deep_state(ref_sim)
+    cert = certify_workload(get_profile(name))
+    for proofs in (None, cert):
+        sim = _kernel_sim(name, mode, "vectorized", proofs=proofs)
+        assert sim.run(200_000).to_dict() == ref, (
+            f"{name}/{mode.value} diverged (proofs={proofs is not None})"
+        )
+        assert _deep_state(sim) == ref_state
+
+
+def test_stochastic_profile_with_certificate_never_memoizes():
+    # A paper profile's certificate is valid but certifies no region, so
+    # the memo must stay cold while the run stays bit-identical.
+    cert = certify_workload(get_profile("gobmk"))
+    assert not cert.deterministic_regions
+    ref = _kernel_sim_paper("reference").run(120_000).to_dict()
+    sim = _kernel_sim_paper("vectorized", proofs=cert)
+    assert sim.run(120_000).to_dict() == ref
+    assert sim.fastpath_state.walk_memo_records == 0
+    assert sim.fastpath_state.walk_memo_hits == 0
+
+
+def _kernel_sim_paper(backend, proofs=None):
+    profile = get_profile("gobmk")
+    return HybridSimulator(
+        design_for_suite(profile.suite),
+        build_workload(profile),
+        GatingMode.FULL,
+        backend=backend,
+        proofs=proofs,
+    )
+
+
+def test_stale_certificate_is_rejected_and_harmless():
+    # Adversarial: certify, then mutate the workload under the proof's
+    # feet.  The backend must notice the fingerprint mismatch, run the
+    # plain (runtime-checked) path, and still be bit-identical.
+    stale = certify_workload(get_profile("dgemm"))
+    ref_sim = _kernel_sim("dgemm", GatingMode.FULL, "reference", mutate=True)
+    ref = ref_sim.run(120_000).to_dict()
+    ref_state = _deep_state(ref_sim)
+
+    sim = _kernel_sim(
+        "dgemm", GatingMode.FULL, "vectorized", proofs=stale, mutate=True
+    )
+    assert sim.run(120_000).to_dict() == ref
+    assert _deep_state(sim) == ref_state
+    fs = sim.fastpath_state
+    assert fs.proof_validations == 1
+    assert fs.proof_rejections == 1
+    assert fs.walk_memo_records == 0
+    assert fs.walk_memo_hits == 0
+
+
+def test_kernel_profiles_stay_out_of_the_paper_set():
+    names = {p.name for p in ALL_BENCHMARKS}
+    assert len(ALL_BENCHMARKS) == 29
+    for profile in KERNEL_PROFILES:
+        assert profile.name not in names
+        assert get_profile(profile.name) is profile

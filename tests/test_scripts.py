@@ -125,6 +125,58 @@ class TestDeterminismLint:
         )
         assert self._codes(lint, scan, tmp_path) == []
 
+    def _backend_codes(self, lint, source, tmp_path):
+        """Lint ``source`` as if it lived in repro/sim/backends."""
+        pkg = tmp_path / "repro" / "sim" / "backends"
+        pkg.mkdir(parents=True, exist_ok=True)
+        case = pkg / "case.py"
+        case.write_text(source)
+        return [v[2] for v in lint.lint_file(case)]
+
+    def test_flags_direct_rng_draws_in_backends(self, tmp_path):
+        lint = self._lint()
+        assert self._backend_codes(
+            lint, "def f(stream):\n    return stream._rng.getrandbits(30)\n",
+            tmp_path,
+        ) == ["D004"]
+        assert self._backend_codes(
+            lint, "def f(stream):\n    draw = stream._random\n", tmp_path
+        ) == ["D004"]
+
+    def test_rng_pragma_suppresses_d004(self, tmp_path):
+        lint = self._lint()
+        source = (
+            "def f(stream):\n"
+            "    draw = stream._random  # lint: rng-mirrored\n"
+            "    bits = stream._rng.getrandbits  # lint: rng-mirrored\n"
+        )
+        assert self._backend_codes(lint, source, tmp_path) == []
+
+    def test_d004_only_applies_inside_backends(self, tmp_path):
+        lint = self._lint()
+        outside = "def f(stream):\n    return stream._rng.getrandbits(30)\n"
+        assert self._codes(lint, outside, tmp_path) == []
+
+    def test_flags_mutable_default_arguments(self, tmp_path):
+        lint = self._lint()
+        assert self._codes(
+            lint, "def f(xs=[]):\n    return xs\n", tmp_path
+        ) == ["D005"]
+        assert self._codes(
+            lint, "def f(*, table=dict()):\n    return table\n", tmp_path
+        ) == ["D005"]
+        assert self._codes(
+            lint, "g = lambda seen=set(): seen\n", tmp_path
+        ) == ["D005"]
+
+    def test_allows_immutable_defaults(self, tmp_path):
+        lint = self._lint()
+        source = (
+            "def f(xs=(), name='x', n=0, table=None):\n"
+            "    return xs, name, n, table\n"
+        )
+        assert self._codes(lint, source, tmp_path) == []
+
 
 class TestGenerateExperimentsScript:
     def test_experiment_list_importable(self):

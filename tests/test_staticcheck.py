@@ -243,3 +243,36 @@ class TestCLI:
     def test_unknown_workload_fails_fast(self):
         with pytest.raises(KeyError):
             main(["staticcheck", "-w", "no-such-benchmark"])
+
+    def test_json_schema_is_pinned(self, capsys):
+        # Consumers (CI artifacts, dashboards) key on this shape; bump
+        # STATICCHECK_JSON_SCHEMA when it changes.
+        from repro.__main__ import STATICCHECK_JSON_SCHEMA
+
+        assert main(["staticcheck", "-w", "gobmk", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert STATICCHECK_JSON_SCHEMA == 1
+        assert payload["schema_version"] == STATICCHECK_JSON_SCHEMA
+        assert set(payload) == {
+            "schema_version",
+            "profiles",
+            "errors",
+            "warnings",
+            "ok",
+        }
+
+    def test_prove_reports_certificates(self, capsys):
+        assert main(["staticcheck", "-w", "dgemm", "--prove", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        (report,) = payload["proofs"]
+        assert report["benchmark"] == "dgemm"
+        assert report["deterministic_regions"] == report["regions"] > 0
+        assert report["stream_slotted"] is True
+        assert report["content_hash"]
+
+    def test_prove_human_output_condenses_reasons(self, capsys):
+        assert main(["staticcheck", "-w", "gobmk", "--prove"]) == 0
+        out = capsys.readouterr().out
+        assert "non-closed-form branch(es)" in out
+        assert "--json" in out
