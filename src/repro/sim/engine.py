@@ -17,8 +17,13 @@ This is the single way to describe, instrument, run and cache simulations:
   serial path).
 
 Environment knobs: ``REPRO_JOBS`` (default worker count, default 1),
-``REPRO_CACHE_DIR`` (cache directory, default ``~/.cache/repro-powerchop``)
-and ``REPRO_CACHE=0`` to disable the on-disk layer entirely.
+``REPRO_CACHE_DIR`` (cache directory, default ``~/.cache/repro-powerchop``),
+``REPRO_CACHE=0`` to disable the on-disk layer entirely and
+``REPRO_CACHE_BUDGET`` (bytes; 0 or unset = unbounded) to cap the on-disk
+cache size with LRU eviction.
+
+The fault-tolerant service layer over this engine — retries, timeouts,
+crash isolation, progress streaming — lives in :mod:`repro.sim.fabric`.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import json
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -45,25 +51,54 @@ from repro.workloads.suites import get_profile
 
 __all__ = [
     "NON_KEY_FIELDS",
+    "SCHEMA_MIGRATIONS",
     "SimJob",
     "JobRecord",
     "ResultCache",
     "SweepRunner",
     "execute_job",
+    "failed_record",
+    "register_schema_migration",
     "run_job",
     "run_jobs",
     "clear_memo",
+    "memo_get",
+    "memo_put",
     "default_workers",
 ]
 
-#: Bump when result semantics or the cache schema change; stale entries
-#: from older schema/code versions are treated as misses.  v2: POWERCHOP
-#: results gained the static-pre-pass counters in ``extra``.  v3: results
-#: gained the ``metrics`` registry snapshot (``repro.obs.metrics``,
-#: ``METRICS_SCHEMA_VERSION``) and jobs the ``obs_level`` field.  v4: jobs
-#: gained the ``backend`` field (excluded from the key — see
-#: ``NON_KEY_FIELDS``) and ``fastpath`` became a deprecated alias for it.
+#: Bump when result semantics or the cache schema change; entries written
+#: under an older schema are fed through the :data:`SCHEMA_MIGRATIONS`
+#: chain on read and treated as misses only when no chain reaches the
+#: current version.  v2: POWERCHOP results gained the static-pre-pass
+#: counters in ``extra``.  v3: results gained the ``metrics`` registry
+#: snapshot (``repro.obs.metrics``, ``METRICS_SCHEMA_VERSION``) and jobs
+#: the ``obs_level`` field.  v4: jobs gained the ``backend`` field
+#: (excluded from the key — see ``NON_KEY_FIELDS``) and ``fastpath``
+#: became a deprecated alias for it.
 CACHE_SCHEMA_VERSION = 4
+
+#: Schema-version migration hooks: ``{from_version: fn(payload) -> payload}``.
+#: Each hook receives the raw JSON payload of an entry written under
+#: ``from_version`` and must return a payload valid under a *newer*
+#: version, with its ``"schema"`` field updated.  :meth:`ResultCache.get`
+#: chains hooks until the payload reaches ``CACHE_SCHEMA_VERSION`` (or no
+#: hook applies — then the entry is a miss).  The schema version is
+#: deliberately *not* part of :meth:`SimJob.key`, so a bump alone does not
+#: orphan entries — registering a migration keeps them readable.
+SCHEMA_MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+
+
+def register_schema_migration(
+    from_version: int,
+) -> Callable[[Callable[[Dict[str, Any]], Dict[str, Any]]], Callable[[Dict[str, Any]], Dict[str, Any]]]:
+    """Decorator registering a cache payload migration from ``from_version``."""
+
+    def _register(fn: Callable[[Dict[str, Any]], Dict[str, Any]]):
+        SCHEMA_MIGRATIONS[from_version] = fn
+        return fn
+
+    return _register
 
 #: Job fields deliberately EXCLUDED from :meth:`SimJob.key`.  Two kinds of
 #: member:
@@ -222,11 +257,13 @@ class SimJob:
         values, which makes them a canonical text form for hashing.  Every
         field participates except the documented ``NON_KEY_FIELDS`` (the
         ``configure`` callback is represented by ``cache_tag``, enforced
-        non-empty above); the schema/code version salts the hash so old
-        cache entries never alias new semantics.
+        non-empty above); the code version salts the hash so old cache
+        entries never alias new semantics.  The cache *schema* version is
+        deliberately not in the key: entries carry it in-file instead, so
+        a schema bump with a registered :data:`SCHEMA_MIGRATIONS` hook
+        keeps old entries readable under the same key.
         """
         parts = (
-            f"schema={CACHE_SCHEMA_VERSION}",
             f"version={_code_version()}",
             f"benchmark={self.benchmark}",
             f"profile={self.profile!r}",
@@ -247,15 +284,35 @@ class SimJob:
 
 @dataclass
 class JobRecord:
-    """Everything one executed :class:`SimJob` produced."""
+    """Everything one executed :class:`SimJob` produced.
+
+    A record either succeeded (``result`` set, ``error`` empty) or failed
+    (``result is None``, ``error`` holds the reason).  Failed records are
+    produced by the batch runners — :class:`SweepRunner` and
+    :class:`repro.sim.fabric.FabricScheduler` — so one bad job cannot
+    abort a batch; they are never memoised or persisted, so a transient
+    failure is retried on the next submission.
+    """
 
     job_key: str
-    result: SimulationResult
+    result: Optional[SimulationResult]
     phase_log: List[Tuple[Tuple[int, ...], Dict[int, int]]] = field(
         default_factory=list
     )
     probes: Dict[str, Any] = field(default_factory=dict)
     from_cache: bool = False
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and self.result is not None
+
+
+def failed_record(key: str, exc: BaseException) -> JobRecord:
+    """A failure :class:`JobRecord` describing why a job produced no result."""
+    return JobRecord(
+        job_key=key, result=None, error=f"{type(exc).__name__}: {exc}"
+    )
 
 
 def execute_job(job: SimJob) -> JobRecord:
@@ -300,17 +357,46 @@ def execute_job(job: SimJob) -> JobRecord:
 # ------------------------------------------------------------------ cache
 
 
+def _default_budget() -> int:
+    """Size budget in bytes from ``REPRO_CACHE_BUDGET`` (0 = unbounded)."""
+    raw = os.environ.get("REPRO_CACHE_BUDGET", "0")
+    try:
+        budget = int(raw)
+    except ValueError as exc:
+        raise ValueError("REPRO_CACHE_BUDGET must be an integer byte count") from exc
+    if budget < 0:
+        raise ValueError("REPRO_CACHE_BUDGET must be >= 0")
+    return budget
+
+
 class ResultCache:
     """Persistent on-disk JSON cache of :class:`JobRecord`, one file per key.
 
     The directory comes from ``REPRO_CACHE_DIR`` (default
     ``~/.cache/repro-powerchop``); ``REPRO_CACHE=0`` disables reads and
-    writes.  Entries are invalidated implicitly: the schema and package
-    versions salt the job hash, and any config change alters the key.
-    Corrupt or unreadable entries are treated as misses.
+    writes.  Entries are invalidated implicitly: the package version salts
+    the job hash, and any config change alters the key.  Corrupt or
+    unreadable entries are treated as misses.  Entries written under an
+    older ``CACHE_SCHEMA_VERSION`` are run through the
+    :data:`SCHEMA_MIGRATIONS` chain; an entry no chain can bring current
+    is a miss.
+
+    Lifecycle: ``budget_bytes`` (default ``REPRO_CACHE_BUDGET``; 0 =
+    unbounded) caps the total on-disk size.  Every ``put`` evicts
+    least-recently-used entries (by file mtime — ``get`` hits touch their
+    entry) until the cache fits the budget, so the cache never exceeds it.
+    ``hits`` / ``misses`` / ``evictions`` count this instance's observed
+    operations.  ``clock`` injects a deterministic time source for tests;
+    the default is the filesystem's own clock.
     """
 
-    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None):
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        enabled: Optional[bool] = None,
+        budget_bytes: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if root is None:
             root = Path(
                 os.environ.get(
@@ -322,20 +408,48 @@ class ResultCache:
         if enabled is None:
             enabled = os.environ.get("REPRO_CACHE", "1") != "0"
         self.enabled = enabled
+        self.budget_bytes = _default_budget() if budget_bytes is None else budget_bytes
+        if self.budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.clock = clock
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _touch(self, path: Path) -> None:
+        """Mark ``path`` most-recently-used (mtime = now / injected clock)."""
+        try:
+            if self.clock is None:
+                os.utime(path)
+            else:
+                stamp = self.clock()
+                os.utime(path, (stamp, stamp))
+        except OSError:
+            pass  # entry raced away; the next get is simply a miss
+
+    def _migrate(self, data: Dict[str, Any]) -> Dict[str, Any]:
+        """Chain :data:`SCHEMA_MIGRATIONS` until ``data`` is current."""
+        seen = set()
+        while data.get("schema") != CACHE_SCHEMA_VERSION:
+            version = data.get("schema")
+            hook = SCHEMA_MIGRATIONS.get(version)
+            if hook is None or version in seen:
+                raise ValueError(f"no migration path from schema {version!r}")
+            seen.add(version)
+            data = hook(data)
+        return data
+
     def get(self, key: str) -> Optional[JobRecord]:
         if not self.enabled:
             return None
+        path = self._path(key)
         try:
-            with open(self._path(key)) as handle:
+            with open(path) as handle:
                 data = json.load(handle)
-            if data.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ValueError("schema mismatch")
+            data = self._migrate(data)
             record = JobRecord(
                 job_key=key,
                 result=SimulationResult.from_dict(data["result"]),
@@ -350,10 +464,11 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)
         return record
 
     def put(self, key: str, record: JobRecord) -> None:
-        if not self.enabled:
+        if not self.enabled or record.result is None:
             return
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
@@ -372,6 +487,64 @@ class ResultCache:
         tmp = self._path(key).with_suffix(".tmp%d" % os.getpid())
         tmp.write_text(text)
         os.replace(tmp, self._path(key))
+        self._touch(self._path(key))
+        self.evict_to_budget()
+
+    # ------------------------------------------------------- lifecycle
+
+    def entries(self) -> List[Tuple[Path, float, int]]:
+        """``(path, mtime, size)`` for every entry, coldest first."""
+        rows = []
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                rows.append((path, stat.st_mtime, stat.st_size))
+        rows.sort(key=lambda row: (row[1], row[0].name))
+        return rows
+
+    def total_bytes(self) -> int:
+        return sum(size for _path, _mtime, size in self.entries())
+
+    def evict_to_budget(self, budget_bytes: Optional[int] = None) -> int:
+        """Unlink least-recently-used entries until the cache fits.
+
+        Returns how many entries were evicted.  A budget of 0 means
+        unbounded (nothing is ever evicted).
+        """
+        budget = self.budget_bytes if budget_bytes is None else budget_bytes
+        if budget <= 0:
+            return 0
+        rows = self.entries()
+        total = sum(size for _path, _mtime, size in rows)
+        evicted = 0
+        for path, _mtime, size in rows:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def stats(self) -> Dict[str, Any]:
+        """Lifecycle snapshot: occupancy plus this instance's counters."""
+        rows = self.entries()
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": len(rows),
+            "bytes": sum(size for _path, _mtime, size in rows),
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def clear(self) -> int:
         """Delete all cache entries; returns how many were removed."""
@@ -394,6 +567,17 @@ _MEMO: Dict[str, JobRecord] = {}
 def clear_memo() -> None:
     """Drop the per-process memo (the on-disk cache is unaffected)."""
     _MEMO.clear()
+
+
+def memo_get(key: str) -> Optional[JobRecord]:
+    """Look up the per-process memo (used by the fabric scheduler)."""
+    return _MEMO.get(key)
+
+
+def memo_put(key: str, record: JobRecord) -> None:
+    """Install a successful record in the per-process memo."""
+    if record.ok:
+        _MEMO[key] = record
 
 
 def run_job(job: SimJob, cache: Optional[ResultCache] = None) -> JobRecord:
@@ -436,6 +620,32 @@ def _is_picklable(job: SimJob) -> bool:
         return False
 
 
+def _execute_isolated(items: List[Tuple[str, SimJob]]) -> Dict[str, JobRecord]:
+    """Re-run jobs one at a time in disposable single-worker pools.
+
+    Recovery path after a :class:`BrokenProcessPool`: the broken pool
+    cannot say *which* job killed the worker, so every job whose future it
+    poisoned comes through here.  Each job gets a fresh worker; a job that
+    crashes it again is the culprit and becomes a failed record, while the
+    innocent bystanders complete normally on the next pool.
+    """
+    out: Dict[str, JobRecord] = {}
+    index = 0
+    while index < len(items):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            while index < len(items):
+                key, job = items[index]
+                index += 1
+                try:
+                    out[key] = pool.submit(execute_job, job).result()
+                except BrokenProcessPool as exc:
+                    out[key] = failed_record(key, exc)
+                    break  # this pool is dead; next job gets a fresh one
+                except Exception as exc:
+                    out[key] = failed_record(key, exc)
+    return out
+
+
 class SweepRunner:
     """Execute batches of :class:`SimJob` with caching and parallelism.
 
@@ -445,6 +655,12 @@ class SweepRunner:
     within one batch execute once and share a record.  Jobs that cannot be
     pickled (e.g. closure ``configure`` callbacks) fall back to in-process
     execution automatically.
+
+    Failures are isolated per job: a job that raises, returns an
+    unpicklable result, or hard-crashes its worker yields a failed
+    :class:`JobRecord` (``result=None``, ``error`` set) while the rest of
+    the batch completes.  For retries, timeouts and progress streaming use
+    :class:`repro.sim.fabric.FabricScheduler` instead.
     """
 
     def __init__(
@@ -491,21 +707,38 @@ class SweepRunner:
 
         if len(parallel) > 1:
             max_workers = min(self.workers, len(parallel))
+            broken: List[Tuple[str, SimJob]] = []
+            job_by_key = dict(parallel)
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 futures = {
                     pool.submit(execute_job, job): key for key, job in parallel
                 }
                 for future in as_completed(futures):
-                    fresh[futures[future]] = future.result()
+                    key = futures[future]
+                    try:
+                        fresh[key] = future.result()
+                    except BrokenProcessPool:
+                        # One worker died and poisoned every in-flight
+                        # future; the casualties are re-run in isolation
+                        # below so only the culprit job fails.
+                        broken.append((key, job_by_key[key]))
+                    except Exception as exc:
+                        fresh[key] = failed_record(key, exc)
+            if broken:
+                fresh.update(_execute_isolated(broken))
         else:
             serial = parallel + serial
 
         for key, job in serial:
-            fresh[key] = execute_job(job)
+            try:
+                fresh[key] = execute_job(job)
+            except Exception as exc:
+                fresh[key] = failed_record(key, exc)
 
         for key, record in fresh.items():
-            self.cache.put(key, record)
-            _MEMO[key] = record
+            if record.ok:
+                self.cache.put(key, record)
+                _MEMO[key] = record
             for index in slots[key]:
                 records[index] = record
 

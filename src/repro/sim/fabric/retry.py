@@ -1,0 +1,61 @@
+"""Bounded retry with exponential backoff and seeded jitter.
+
+The policy is pure data plus one pure-ish function: ``delay(attempt,
+rng)`` computes how long to sleep before retry number ``attempt + 1``.
+Jitter draws from the *caller's* seeded ``random.Random`` so a scheduler
+run's sleep sequence is reproducible (and, more importantly, so nothing
+here touches the ambient global RNG the simulator's determinism lint
+forbids).  Backoff affects only scheduling — simulation results are
+bit-identical however often a job is retried.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failed job is retried.
+
+    ``max_attempts`` counts every try including the first, so
+    ``max_attempts=1`` disables retries.  The delay before attempt ``n+1``
+    is ``base_delay * multiplier**(n-1)`` capped at ``max_delay``, then
+    scaled by a uniform jitter in ``[1 - jitter_frac, 1 + jitter_frac]``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before the retry following failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter_frac:
+            raw *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return max(raw, 0.0)
+
+    def exhausted(self, attempt: int) -> bool:
+        """True when failed attempt ``attempt`` was the last allowed one."""
+        return attempt >= self.max_attempts
+
+
+#: Policy used when the scheduler is given none.
+DEFAULT_RETRY_POLICY = RetryPolicy()

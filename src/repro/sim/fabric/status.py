@@ -1,0 +1,77 @@
+"""Job status model for the sweep fabric.
+
+Every job submitted to the :class:`~repro.sim.fabric.FabricScheduler`
+moves through a small state machine::
+
+    QUEUED ──────────────► CACHED            (memo / disk-cache hit)
+       │
+       ▼        retry (backoff + jitter)
+    RUNNING ◄──────────────┐
+       │                   │
+       ├── success ──► DONE│
+       └── crash / timeout / exception
+                           │ attempts left?
+                           ├── yes ──┘
+                           └── no ───► FAILED
+
+``CACHED``, ``DONE`` and ``FAILED`` are terminal.  Transitions are
+streamed as :class:`FabricEvent` values (and mirrored into the
+scheduler's :class:`~repro.obs.metrics.MetricsRegistry`), so callers can
+watch a batch progress without polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import JobRecord, SimJob
+
+__all__ = ["JobStatus", "JobState", "FabricEvent", "TERMINAL_STATUSES"]
+
+
+class JobStatus(str, Enum):
+    """Lifecycle states of one fabric job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CACHED = "cached"
+
+
+#: States a job never leaves.
+TERMINAL_STATUSES = frozenset(
+    {JobStatus.DONE, JobStatus.FAILED, JobStatus.CACHED}
+)
+
+
+@dataclass(frozen=True)
+class FabricEvent:
+    """One observed status transition, in emission order."""
+
+    key: str
+    status: JobStatus
+    attempt: int = 0
+    detail: str = ""
+
+
+@dataclass
+class JobState:
+    """Mutable per-unique-job bookkeeping inside one scheduler run."""
+
+    index: int  #: first position of this job in the submitted batch
+    key: str
+    job: "SimJob"
+    status: JobStatus = JobStatus.QUEUED
+    attempts: int = 0
+    shard: int = -1
+    error: str = ""
+    record: Optional["JobRecord"] = None
+    history: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES

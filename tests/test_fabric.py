@@ -1,0 +1,580 @@
+"""Sweep-fabric suite: fault injection, cache lifecycle, equivalence.
+
+Covers the acceptance matrix for the fabric service layer:
+
+- retry-success / retry-exhaustion / timeout / batch-survives-poison-worker
+  paths, driven by the deterministic ``FaultyExecutor`` injectors from
+  conftest;
+- property-based (seeded ``random``, no extra deps) cache-lifecycle
+  checks: the size budget is never exceeded, LRU never evicts a just-hit
+  key before a colder one, and hit/miss/eviction counters reconcile with
+  the model's observed operations;
+- bit-identical equivalence between :class:`FabricScheduler` and
+  :class:`SweepRunner` on a profiles x modes matrix, ``from_cache`` flags
+  included;
+- the engine regression: a crashed or unpicklable-result job yields a
+  failed :class:`JobRecord` while the rest of the batch completes.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import engine
+from repro.sim.engine import (
+    ResultCache,
+    SimJob,
+    SweepRunner,
+    execute_job,
+)
+from repro.sim.fabric import (
+    FabricScheduler,
+    JobStatus,
+    PoolUnavailable,
+    RestartablePool,
+    RetryPolicy,
+)
+from repro.sim.simulator import GatingMode
+from tests.conftest import UnpicklableProbe
+
+FAST = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05)
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine(monkeypatch, tmp_path):
+    """Each test gets an empty memo and its own disk-cache directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_BUDGET", raising=False)
+    engine.clear_memo()
+    yield
+    engine.clear_memo()
+
+
+def _job(seed=None, budget=30_000, benchmark="hmmer", mode=GatingMode.FULL):
+    return SimJob(
+        benchmark=benchmark, mode=mode, max_instructions=budget, seed=seed
+    )
+
+
+# ------------------------------------------------------------ retry policy
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3,
+            jitter_frac=0.0,
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(n, rng) for n in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.3, 0.3]  # exponential, then capped
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter_frac=0.25, max_delay=1.0)
+        draws = [policy.delay(1, random.Random(seed)) for seed in range(50)]
+        assert all(0.75 <= d <= 1.25 for d in draws)
+        assert len(set(draws)) > 1  # jitter actually varies
+        # Seeded: the same rng state reproduces the same delay sequence.
+        assert [policy.delay(1, random.Random(7)) for _ in range(3)] == [
+            policy.delay(1, random.Random(7)) for _ in range(3)
+        ]
+
+    def test_exhausted_counts_first_attempt(self):
+        assert RetryPolicy(max_attempts=1).exhausted(1)
+        assert not RetryPolicy(max_attempts=3).exhausted(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+# --------------------------------------------------------- restartable pool
+
+
+class TestRestartablePool:
+    def test_restart_if_ignores_stale_generation(self):
+        pool = RestartablePool(max_workers=1)
+        generation = pool.generation
+        pool.restart()  # generation moves on
+        assert pool.restarts == 1
+        pool.restart_if(generation)  # stale caller: must not restart again
+        assert pool.restarts == 1
+        pool.restart_if(pool.generation)  # live caller: restarts
+        assert pool.restarts == 2
+        pool.close()
+
+    def test_unavailable_pool_raises_pool_unavailable(self, monkeypatch):
+        pool = RestartablePool(max_workers=2)
+
+        def boom(max_workers):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(
+            "repro.sim.fabric.pool.ProcessPoolExecutor", boom
+        )
+        with pytest.raises(PoolUnavailable):
+            pool.submit(int)
+        assert not pool.available
+        with pytest.raises(PoolUnavailable):  # stays unavailable
+            pool.submit(int)
+
+
+# -------------------------------------------------- cache lifecycle (LRU)
+
+
+@pytest.fixture(scope="module")
+def template_record():
+    """One real successful record to persist under synthetic keys."""
+    return execute_job(SimJob(benchmark="hmmer", max_instructions=20_000))
+
+
+class _Clock:
+    """Deterministic strictly-increasing mtime source."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestCacheLifecycle:
+    def _cache(self, tmp_path, budget_entries, entry_size):
+        return ResultCache(
+            root=tmp_path / "lru",
+            budget_bytes=budget_entries * entry_size,
+            clock=_Clock(),
+        )
+
+    def _entry_size(self, tmp_path, record):
+        probe = ResultCache(root=tmp_path / "probe")
+        probe.put("size-probe", record)
+        return probe.total_bytes()
+
+    def test_lru_never_evicts_just_hit_key_before_colder(
+        self, tmp_path, template_record
+    ):
+        size = self._entry_size(tmp_path, template_record)
+        cache = self._cache(tmp_path, 3, size)
+        for key in ("k1", "k2", "k3"):
+            cache.put(key, template_record)
+        assert cache.get("k1") is not None  # touch: k1 is now hottest
+        cache.put("k4", template_record)  # over budget: k2 is coldest
+        names = {path.name for path, _mtime, _size in cache.entries()}
+        assert names == {"k1.json", "k3.json", "k4.json"}
+        assert cache.evictions == 1
+        assert cache.get("k2") is None  # evicted -> miss
+
+    def test_budget_smaller_than_one_entry_still_holds(
+        self, tmp_path, template_record
+    ):
+        size = self._entry_size(tmp_path, template_record)
+        cache = ResultCache(
+            root=tmp_path / "tiny", budget_bytes=size - 1, clock=_Clock()
+        )
+        cache.put("only", template_record)
+        assert cache.total_bytes() <= size - 1  # invariant wins: evicted
+        assert cache.entries() == []
+
+    def test_zero_budget_means_unbounded(self, tmp_path, template_record):
+        cache = ResultCache(root=tmp_path / "unbounded", budget_bytes=0)
+        for index in range(8):
+            cache.put(f"key{index}", template_record)
+        assert len(cache.entries()) == 8
+        assert cache.evictions == 0
+
+    def test_budget_env_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", "12345")
+        assert ResultCache(root=tmp_path).budget_bytes == 12345
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", "chonky")
+        with pytest.raises(ValueError):
+            ResultCache(root=tmp_path)
+
+    def test_property_interleavings_respect_budget_lru_and_counters(
+        self, tmp_path, template_record
+    ):
+        """Seeded random put/get interleavings against a model cache.
+
+        Invariants after every operation: total bytes <= budget; the
+        resident key set is exactly the model's LRU survivors (so no
+        eviction ever picks a hotter key over a colder one); and the
+        hit/miss/eviction counters equal the model's observed counts.
+        """
+        size = self._entry_size(tmp_path, template_record)
+        budget_entries = 4
+        cache = self._cache(tmp_path, budget_entries, size)
+        rng = random.Random(1234)
+        universe = [f"key{n}" for n in range(10)]
+        model_lru: list = []  # coldest ... hottest
+        hits = misses = evictions = 0
+
+        for _step in range(300):
+            key = rng.choice(universe)
+            if rng.random() < 0.5:
+                cache.put(key, template_record)
+                if key in model_lru:
+                    model_lru.remove(key)
+                model_lru.append(key)
+                while len(model_lru) > budget_entries:
+                    model_lru.pop(0)
+                    evictions += 1
+            else:
+                record = cache.get(key)
+                if key in model_lru:
+                    assert record is not None, f"model expected hit on {key}"
+                    model_lru.remove(key)
+                    model_lru.append(key)
+                    hits += 1
+                else:
+                    assert record is None, f"model expected miss on {key}"
+                    misses += 1
+            assert cache.total_bytes() <= budget_entries * size
+            resident = {path.name[: -len(".json")] for path, _m, _s in cache.entries()}
+            assert resident == set(model_lru)
+        assert (cache.hits, cache.misses, cache.evictions) == (
+            hits,
+            misses,
+            evictions,
+        ), "counters must reconcile with observed operations"
+        assert evictions > 0 and hits > 0 and misses > 0  # the run was interesting
+
+
+# ------------------------------------------------------- schema migration
+
+
+class TestSchemaMigration:
+    @pytest.fixture(autouse=True)
+    def _pristine_migrations(self):
+        saved = dict(engine.SCHEMA_MIGRATIONS)
+        engine.SCHEMA_MIGRATIONS.clear()
+        yield
+        engine.SCHEMA_MIGRATIONS.clear()
+        engine.SCHEMA_MIGRATIONS.update(saved)
+
+    def test_v4_records_readable_after_bump_via_migration(
+        self, monkeypatch, tmp_path, template_record
+    ):
+        cache = ResultCache(root=tmp_path / "mig")
+        old_version = engine.CACHE_SCHEMA_VERSION
+        job = SimJob(benchmark="hmmer", max_instructions=20_000)
+        key = job.key()
+        cache.put(key, template_record)
+
+        monkeypatch.setattr(engine, "CACHE_SCHEMA_VERSION", old_version + 1)
+        assert job.key() == key, "schema version must not salt the job key"
+        assert cache.get(key) is None, "no migration registered -> miss"
+
+        @engine.register_schema_migration(old_version)
+        def _up(payload):
+            payload = dict(payload)
+            payload["schema"] = old_version + 1
+            return payload
+
+        migrated = cache.get(key)
+        assert migrated is not None
+        assert migrated.from_cache
+        assert migrated.result.to_dict() == template_record.result.to_dict()
+
+    def test_migration_chain_and_cycle_guard(
+        self, monkeypatch, tmp_path, template_record
+    ):
+        cache = ResultCache(root=tmp_path / "chain")
+        old_version = engine.CACHE_SCHEMA_VERSION
+        cache.put("k", template_record)
+        monkeypatch.setattr(engine, "CACHE_SCHEMA_VERSION", old_version + 2)
+
+        @engine.register_schema_migration(old_version)
+        def _one(payload):
+            return {**payload, "schema": old_version + 1}
+
+        assert cache.get("k") is None  # chain stops one short -> miss
+
+        @engine.register_schema_migration(old_version + 1)
+        def _two(payload):
+            return {**payload, "schema": old_version + 2}
+
+        assert cache.get("k") is not None  # full chain now reaches current
+
+        # A migration that loops forever must be detected, not spin.
+        @engine.register_schema_migration(old_version + 1)
+        def _loop(payload):
+            return {**payload, "schema": old_version}
+
+        assert cache.get("k") is None
+
+
+# ------------------------------------ engine regression: crash isolation
+
+
+class TestSweepRunnerFaultIsolation:
+    def test_unpicklable_result_fails_one_job_not_the_batch(self):
+        poisoned = SimJob(
+            benchmark="hmmer",
+            max_instructions=30_000,
+            probes=(UnpicklableProbe(),),
+        )
+        jobs = [_job(seed=1), poisoned, _job(seed=2)]
+        records = SweepRunner(workers=2).run(jobs)
+        assert [r.ok for r in records] == [True, False, True]
+        assert records[1].result is None
+        assert records[1].error
+        # The failure is not memoised or persisted: resubmitting retries it.
+        assert engine.memo_get(poisoned.key()) is None
+        assert ResultCache().get(poisoned.key()) is None
+
+    def test_crashed_worker_fails_one_job_rest_complete(self, crashing_job):
+        jobs = [_job(seed=1), crashing_job("crash"), _job(seed=2), _job(seed=3)]
+        records = SweepRunner(workers=2).run(jobs)
+        assert len(records) == len(jobs)
+        assert [r.ok for r in records] == [True, False, True, True]
+        assert "BrokenProcessPool" in records[1].error
+
+    def test_raising_job_fails_serially_too(self, crashing_job):
+        jobs = [crashing_job("raise"), _job(seed=4)]
+        records = SweepRunner(workers=1).run(jobs)
+        assert [r.ok for r in records] == [False, True]
+        assert "RuntimeError: injected fault" in records[0].error
+
+
+# --------------------------------------------------------- the scheduler
+
+
+def _counter(scheduler, name):
+    return scheduler.registry.snapshot()["counters"].get(name, 0)
+
+
+class TestFabricScheduler:
+    def test_basic_batch_order_duplicates_and_events(self):
+        jobs = [_job(seed=1), _job(seed=2), _job(seed=1)]
+        scheduler = FabricScheduler(workers=1, retry=FAST)
+        records = scheduler.run(jobs)
+        assert [r.ok for r in records] == [True, True, True]
+        assert records[0] is records[2]  # duplicates share one record
+        assert [r.from_cache for r in records] == [False, False, False]
+        statuses = [e.status for e in scheduler.events]
+        assert statuses.count(JobStatus.QUEUED) == 2  # unique jobs only
+        assert statuses.count(JobStatus.DONE) == 2
+        assert statuses[0] is JobStatus.QUEUED
+        done_counter = _counter(scheduler, "fabric_jobs{status=done}")
+        assert done_counter == 2
+
+    def test_warm_run_is_all_cached(self):
+        jobs = [_job(seed=1), _job(seed=2)]
+        FabricScheduler(workers=1, retry=FAST).run(jobs)
+        engine.clear_memo()  # force the disk layer
+        scheduler = FabricScheduler(workers=1, retry=FAST)
+        records = scheduler.run(jobs)
+        assert all(r.from_cache for r in records)
+        assert _counter(scheduler, "fabric_jobs{status=cached}") == 2
+        assert _counter(scheduler, "fabric_cache{event=hit}") == 2
+        assert {e.status for e in scheduler.events} == {JobStatus.CACHED}
+
+    def test_retry_success_after_one_crash(self, crashing_job):
+        """Crash-once: the job's first worker dies, the retry lands."""
+        jobs = [
+            crashing_job("crash", once=True),
+            _job(seed=11),
+            _job(seed=12),
+        ]
+        scheduler = FabricScheduler(
+            workers=2,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.05),
+        )
+        records = scheduler.run(jobs)
+        assert [r.ok for r in records] == [True, True, True]
+        assert _counter(scheduler, "fabric_crashes") >= 1
+        assert _counter(scheduler, "fabric_retries") >= 1
+        assert _counter(scheduler, "fabric_pool_restarts") >= 1
+        assert _counter(scheduler, "fabric_jobs{status=failed}") == 0
+
+    def test_retry_exhaustion_yields_failed_record(self, crashing_job):
+        scheduler = FabricScheduler(workers=1, retry=FAST)
+        records = scheduler.run([crashing_job("raise"), _job(seed=13)])
+        assert [r.ok for r in records] == [False, True]
+        assert "RuntimeError: injected fault" in records[0].error
+        assert records[0].result is None
+        assert _counter(scheduler, "fabric_retries") == 1  # 2 attempts
+        assert _counter(scheduler, "fabric_jobs{status=failed}") == 1
+        failed_events = [
+            e for e in scheduler.events if e.status is JobStatus.FAILED
+        ]
+        assert len(failed_events) == 1 and failed_events[0].attempt == 2
+
+    @pytest.mark.timeout(120)
+    def test_batch_survives_poison_worker(self, crashing_job):
+        """Acceptance: job k of N crashes its worker on every attempt.
+
+        The fabric returns N records — N-1 succeeded, 1 failed after the
+        configured retries — and the metrics report the retry/failure
+        counts.  ``shard_size=1`` serialises dispatch, confining each
+        crash to its own job.
+        """
+        jobs = [
+            _job(seed=21),
+            _job(seed=22),
+            crashing_job("crash"),  # job k: poisons its worker, always
+            _job(seed=23),
+        ]
+        scheduler = FabricScheduler(workers=2, shard_size=1, retry=FAST)
+        records = scheduler.run(jobs)
+        assert len(records) == len(jobs)
+        assert [r.ok for r in records] == [True, True, False, True]
+        assert "worker pool broke" in records[2].error
+        assert _counter(scheduler, "fabric_crashes") == FAST.max_attempts
+        assert _counter(scheduler, "fabric_retries") == FAST.max_attempts - 1
+        assert _counter(scheduler, "fabric_jobs{status=failed}") == 1
+        assert _counter(scheduler, "fabric_jobs{status=done}") == 3
+
+    @pytest.mark.timeout(90)
+    def test_hang_times_out_and_batch_completes(self, crashing_job):
+        """Hang-injection: the per-job timeout reclaims the stuck worker."""
+        jobs = [crashing_job("hang"), _job(seed=31)]
+        scheduler = FabricScheduler(
+            workers=2,
+            shard_size=1,
+            job_timeout=1.5,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        records = scheduler.run(jobs)
+        assert [r.ok for r in records] == [False, True]
+        assert "TimeoutError" in records[0].error
+        assert _counter(scheduler, "fabric_timeouts") == 1
+        assert _counter(scheduler, "fabric_pool_restarts") >= 1
+
+    @pytest.mark.timeout(90)
+    def test_hang_timeout_then_retry_succeeds(self, crashing_job):
+        """Hang-once: first attempt times out, the retry completes."""
+        jobs = [crashing_job("hang", once=True)]
+        scheduler = FabricScheduler(
+            workers=2,
+            job_timeout=1.5,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        )
+        records = scheduler.run(jobs)
+        assert records[0].ok
+        assert _counter(scheduler, "fabric_timeouts") == 1
+        assert _counter(scheduler, "fabric_retries") == 1
+
+    def test_degrades_to_serial_when_pool_unavailable(self, monkeypatch):
+        def no_pool(self):
+            self.available = False
+            raise PoolUnavailable("injected: no subprocesses here")
+
+        monkeypatch.setattr(RestartablePool, "_ensure", no_pool)
+        scheduler = FabricScheduler(workers=4, retry=FAST)
+        records = scheduler.run([_job(seed=41), _job(seed=42)])
+        assert [r.ok for r in records] == [True, True]
+        assert _counter(scheduler, "fabric_pool_unavailable") >= 1
+        assert _counter(scheduler, "fabric_jobs{status=done}") == 2
+
+    def test_unpicklable_jobs_run_in_process(self):
+        def tweak(simulator):  # local closure: not picklable
+            pass
+
+        jobs = [
+            SimJob(
+                benchmark="hmmer",
+                max_instructions=30_000,
+                configure=tweak,
+                cache_tag="fabric-noop-tweak",
+            ),
+            _job(),
+        ]
+        records = FabricScheduler(workers=2, retry=FAST).run(jobs)
+        assert [r.ok for r in records] == [True, True]
+        assert records[0].job_key != records[1].job_key  # tag salts the key
+        # The closure can't travel to a pool worker; the job must have run
+        # in-process — and, being a no-op, bit-identically to the plain one.
+        assert records[0].result.to_dict() == records[1].result.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabricScheduler(workers=0)
+        with pytest.raises(ValueError):
+            FabricScheduler(shard_size=0)
+        with pytest.raises(ValueError):
+            FabricScheduler(job_timeout=0.0)
+
+
+# ------------------------------------------------------------ equivalence
+
+
+class TestFabricSweepRunnerEquivalence:
+    """FabricScheduler must be bit-identical to SweepRunner.run."""
+
+    PROFILES = ("hmmer", "msn", "bzip2")
+    MODES = (GatingMode.FULL, GatingMode.POWERCHOP)
+
+    def _matrix(self):
+        return [
+            _job(benchmark=name, mode=mode, budget=40_000)
+            for name in self.PROFILES
+            for mode in self.MODES
+        ]
+
+    def test_records_bit_identical_on_profile_mode_matrix(
+        self, monkeypatch, tmp_path
+    ):
+        jobs = self._matrix()
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sweep"))
+        engine.clear_memo()
+        baseline = SweepRunner(workers=2).run(jobs)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "fabric"))
+        engine.clear_memo()
+        fabric = FabricScheduler(workers=2, retry=FAST).run(jobs)
+
+        assert [r.from_cache for r in fabric] == [
+            r.from_cache for r in baseline
+        ]
+        assert [r.job_key for r in fabric] == [r.job_key for r in baseline]
+        assert [r.result.to_dict() for r in fabric] == [
+            r.result.to_dict() for r in baseline
+        ], "fabric records must be bit-identical to SweepRunner's"
+        assert [r.phase_log for r in fabric] == [
+            r.phase_log for r in baseline
+        ]
+
+    def test_warm_cache_flags_match_too(self, monkeypatch, tmp_path):
+        jobs = self._matrix()[:4]
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        engine.clear_memo()
+        SweepRunner(workers=1).run(jobs)
+        engine.clear_memo()
+        baseline = SweepRunner(workers=1).run(jobs)  # all disk hits
+
+        engine.clear_memo()
+        fabric = FabricScheduler(workers=1, retry=FAST).run(jobs)
+        assert all(r.from_cache for r in fabric)
+        assert [r.from_cache for r in fabric] == [
+            r.from_cache for r in baseline
+        ]
+        assert [r.result.to_dict() for r in fabric] == [
+            r.result.to_dict() for r in baseline
+        ]
+
+    def test_sweep_cli_fabric_flag_matches_plain(self, monkeypatch, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = ["sweep", "hmmer", "-m", "full", "-n", "40000", "--json"]
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-plain"))
+        engine.clear_memo()
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-fabric"))
+        engine.clear_memo()
+        assert main(argv + ["--fabric"]) == 0
+        fabric = capsys.readouterr().out
+        assert fabric == plain
